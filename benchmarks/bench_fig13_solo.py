@@ -1,0 +1,32 @@
+"""Figure 13: solo-mode micro-kernel GFLOPS across tile shapes.
+
+Regenerates the six-group bar chart (8x12, 4x4, 4x8, 4x12, 8x4, 8x8) for
+NEON / BLIS / EXO with KC = 512 and asserts the paper's findings:
+
+* at 8x12 the three are within a few percent, ordered NEON < BLIS <= EXO;
+* on every edge case the specialized EXO kernel wins decisively, because
+  the monolithic kernels waste (1 - mr*nr/96) of their work.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import fig13_solo_data
+from repro.eval.report import render_table
+
+
+def test_fig13_solo_mode(benchmark, ctx):
+    rows = benchmark(fig13_solo_data, kc=512, ctx=ctx)
+    print()
+    print(render_table(rows, title="Figure 13 — solo-mode GFLOPS (modelled)"))
+
+    by_shape = {r["shape"]: r for r in rows}
+    main = by_shape["8x12"]
+    assert main["NEON"] < main["BLIS"] <= main["EXO"]
+    assert main["EXO"] / main["BLIS"] < 1.05
+    assert 0.90 < main["NEON"] / main["BLIS"] < 1.0
+
+    for shape in ("4x4", "4x8", "4x12", "8x4", "8x8"):
+        row = by_shape[shape]
+        assert row["EXO"] > 1.3 * row["BLIS"], f"EXO must win {shape}"
+    # the 4x4 edge case is the most dramatic: >3x in the paper's figure
+    assert by_shape["4x4"]["EXO"] > 3 * by_shape["4x4"]["BLIS"]

@@ -1,0 +1,30 @@
+"""Figure 14: squarish GEMM, m = n = k in {1000..5000}.
+
+Regenerates the four-line plot (ALG+NEON, ALG+BLIS, BLIS, ALG+EXO) and
+asserts the paper's ordering: the BLIS library wins (in-kernel C prefetch
+hides the tile misses the ALG variants expose), ALG+EXO leads the ALG
+variants, and all four land within a narrow band at these sizes.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import fig14_square_data
+from repro.eval.report import render_table
+from repro.workloads.square import SQUARE_SIZES
+
+CONFIGS = ["ALG+NEON", "ALG+BLIS", "BLIS", "ALG+EXO"]
+
+
+def test_fig14_square_sweep(benchmark, ctx):
+    rows = benchmark(fig14_square_data, SQUARE_SIZES, ctx)
+    print()
+    print(render_table(
+        rows,
+        columns=["size", *CONFIGS, "exo_kernel"],
+        title="Figure 14 — square GEMM GFLOPS (modelled)",
+    ))
+    for row in rows:
+        assert row["BLIS"] >= row["ALG+BLIS"] >= row["ALG+NEON"]
+        assert row["ALG+EXO"] >= row["ALG+BLIS"]
+        values = [row[c] for c in CONFIGS]
+        assert max(values) / min(values) < 1.15  # narrow band at scale

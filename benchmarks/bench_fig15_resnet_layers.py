@@ -1,0 +1,38 @@
+"""Figure 15: per-layer GFLOPS for the 20 unique ResNet50 v1.5 GEMMs.
+
+The paper's headline DNN result: ad-hoc micro-kernels win the plurality of
+layers (9 of 20 in the paper; the monolithic-BLIS library takes 6).  Our
+model must reproduce the *pattern*: ALG+EXO takes the edge-heavy layers —
+in particular all of the m=49 tail layers (17-20) — while prefetching BLIS
+stays competitive on the large-m layers.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import fig15_resnet_layer_data
+from repro.eval.report import render_table, winners
+
+CONFIGS = ["ALG+NEON", "ALG+BLIS", "BLIS", "ALG+EXO"]
+
+
+def test_fig15_resnet_per_layer(benchmark, ctx):
+    rows = benchmark(fig15_resnet_layer_data, ctx)
+    print()
+    print(render_table(
+        rows,
+        columns=["layer", "m", "n", "k", *CONFIGS],
+        title="Figure 15 — ResNet50 v1.5 per-layer GFLOPS (modelled)",
+    ))
+    assert len(rows) == 20
+
+    wins = winners(rows, CONFIGS)
+    assert wins.count("ALG+EXO") >= 8       # paper: 9 of 20
+    assert wins.count("ALG+NEON") == 0      # never the best
+
+    # the m=49 layers are where edge cases bite: EXO must take all four
+    for row in rows[16:]:
+        assert row["ALG+EXO"] == max(row[c] for c in CONFIGS)
+
+    # ALG+EXO never loses to ALG+BLIS (same algorithm, better kernels)
+    for row in rows:
+        assert row["ALG+EXO"] >= row["ALG+BLIS"]

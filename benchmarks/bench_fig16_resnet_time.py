@@ -1,0 +1,35 @@
+"""Figure 16: aggregated ResNet50 v1.5 inference time over 53 layers.
+
+The paper: "Although the difference is small the best performance is
+achieved by ALG+EXO, followed by BLIS, ALG+BLIS, and ALG+Neon."  This
+benchmark regenerates the cumulative-time series and asserts exactly that
+finishing order, plus monotonicity of every series.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import fig16_resnet_time_data
+
+CONFIGS = ["ALG+NEON", "ALG+BLIS", "BLIS", "ALG+EXO"]
+
+
+def test_fig16_resnet_aggregated_time(benchmark, ctx):
+    rows = benchmark(fig16_resnet_time_data, ctx)
+    assert len(rows) == 53
+
+    final = rows[-1]
+    print()
+    print("Figure 16 — total ResNet50 v1.5 time over 53 layers (modelled s):")
+    for name in sorted(CONFIGS, key=lambda c: final[c]):
+        print(f"  {name:10s} {final[name]:.4f}")
+
+    # the paper's finishing order
+    assert final["ALG+EXO"] < final["BLIS"]
+    assert final["BLIS"] < final["ALG+BLIS"]
+    assert final["ALG+BLIS"] < final["ALG+NEON"]
+    # "the difference is small": leaders within ~5%
+    assert final["BLIS"] / final["ALG+EXO"] < 1.05
+
+    for config in CONFIGS:
+        series = [r[config] for r in rows]
+        assert series == sorted(series)

@@ -1,0 +1,37 @@
+"""Figure 17: per-layer GFLOPS for the 9 unique VGG16 GEMMs.
+
+The paper: EXO best on 3 layers, prefetching BLIS on 4, ALG+BLIS on 2.
+VGG16 shapes are friendlier to the monolithic kernel than ResNet's (every
+m is a multiple of 8 except the 196-row and 49-row... all are m%4==0), so
+EXO's advantage is narrower — the assertion is therefore a split verdict:
+EXO wins some layers, the library wins others, and nobody is dominated.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import fig17_vgg_layer_data
+from repro.eval.report import render_table, winners
+
+CONFIGS = ["ALG+NEON", "ALG+BLIS", "BLIS", "ALG+EXO"]
+
+
+def test_fig17_vgg_per_layer(benchmark, ctx):
+    rows = benchmark(fig17_vgg_layer_data, ctx)
+    print()
+    print(render_table(
+        rows,
+        columns=["layer", "m", "n", "k", *CONFIGS],
+        title="Figure 17 — VGG16 per-layer GFLOPS (modelled)",
+    ))
+    assert len(rows) == 9
+
+    wins = winners(rows, CONFIGS)
+    assert wins.count("ALG+EXO") >= 1
+    assert wins.count("ALG+NEON") == 0
+    for row in rows:
+        assert row["ALG+EXO"] >= row["ALG+BLIS"]
+        # the band stays tight on the deep layers; layer 1 (k = 27) is
+        # packing-dominated and spreads wider, as in the paper's figure
+        values = [row[c] for c in CONFIGS]
+        band = 1.25 if row["k"] > 500 else 1.6
+        assert max(values) / min(values) < band

@@ -1,0 +1,28 @@
+"""Figure 18: aggregated VGG16 inference time over 13 layers.
+
+The paper: "the performance of ALG+EXO and BLIS solutions are close."  The
+benchmark asserts the two leaders finish within a few percent of each
+other, both ahead of ALG+BLIS and ALG+NEON.
+"""
+
+from __future__ import annotations
+
+from repro.eval.harness import fig18_vgg_time_data
+
+CONFIGS = ["ALG+NEON", "ALG+BLIS", "BLIS", "ALG+EXO"]
+
+
+def test_fig18_vgg_aggregated_time(benchmark, ctx):
+    rows = benchmark(fig18_vgg_time_data, ctx)
+    assert len(rows) == 13
+
+    final = rows[-1]
+    print()
+    print("Figure 18 — total VGG16 time over 13 layers (modelled s):")
+    for name in sorted(CONFIGS, key=lambda c: final[c]):
+        print(f"  {name:10s} {final[name]:.4f}")
+
+    leaders = sorted(CONFIGS, key=lambda c: final[c])[:2]
+    assert set(leaders) == {"ALG+EXO", "BLIS"}
+    assert max(final[c] for c in leaders) / min(final[c] for c in leaders) < 1.06
+    assert final["ALG+EXO"] < final["ALG+BLIS"] < final["ALG+NEON"]

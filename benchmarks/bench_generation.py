@@ -1,0 +1,32 @@
+"""Benchmark: the Section III generation pipeline itself (Figures 5-11).
+
+The paper's pitch is that generating a specialized micro-kernel is cheap
+enough to do per problem size.  This benchmark measures the full v1..v6
+schedule for the 8x12 kernel and for an edge-case kernel, and verifies the
+end product each time.
+"""
+
+from __future__ import annotations
+
+from repro.isa.neon import NEON_F32_LIB
+from repro.ukernel.generator import generate_microkernel
+
+
+def test_generate_8x12(benchmark):
+    kernel = benchmark(generate_microkernel, 8, 12, NEON_F32_LIB)
+    assert kernel.name == "uk_8x12_f32_packed"
+    assert len(kernel.steps) == 6
+    trace = kernel.proc.asm_trace()
+    assert trace.count("fmla") == 24
+
+
+def test_generate_edge_4x4(benchmark):
+    kernel = benchmark(generate_microkernel, 4, 4, NEON_F32_LIB)
+    assert kernel.variant == "packed"
+    assert kernel.proc.asm_trace().count("fmla") == 4
+
+
+def test_generate_row_1x12(benchmark):
+    kernel = benchmark(generate_microkernel, 1, 12, NEON_F32_LIB)
+    assert kernel.variant == "row"
+    assert kernel.proc.asm_trace().count("dup") == 1

@@ -1,0 +1,38 @@
+"""Ablation: analytical tile model vs exhaustive search (paper Section II-C).
+
+The paper's stance — following Low et al. [9] — is that analytical
+modelling replaces auto-tuning for tile-parameter selection.  This
+benchmark runs both inside our timing substrate: a ~340-point grid search
+over (mc, kc, nc) against the closed-form parameters, on the largest
+square size of Figure 14.  The closed form must land within a few percent
+of the exhaustive optimum while evaluating a single candidate.
+"""
+
+from __future__ import annotations
+
+from repro.blis.tuning import analytical_result, grid_search_tiles
+from repro.sim.memory import GemmShape
+
+
+def test_analytical_modeling_is_enough(benchmark, ctx):
+    shape = GemmShape(5000, 5000, 5000)
+    trace = ctx.blis_trace()
+
+    def run():
+        tuned = grid_search_tiles(shape, trace, model=ctx.model)
+        closed = analytical_result(shape, trace, model=ctx.model)
+        return tuned, closed
+
+    tuned, closed = benchmark(run)
+    print(
+        f"\n  grid search : {tuned.gflops:6.2f} GFLOPS over "
+        f"{tuned.evaluated} candidates "
+        f"(mc={tuned.tiles.mc}, kc={tuned.tiles.kc}, nc={tuned.tiles.nc})"
+    )
+    print(
+        f"  closed form : {closed.gflops:6.2f} GFLOPS from 1 candidate "
+        f"(mc={closed.tiles.mc}, kc={closed.tiles.kc}, nc={closed.tiles.nc})"
+    )
+    assert closed.gflops > 0.97 * tuned.gflops
+    assert closed.evaluated == 1
+    assert tuned.evaluated > 300

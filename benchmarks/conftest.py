@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_fig*`` module regenerates one figure of the paper's evaluation
+section.  The benchmarked callable is the harness that produces the figure's
+data series; shape assertions inside each benchmark guarantee the regenerated
+figure tells the paper's story (who wins, by roughly what factor).
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import EvalContext, default_context
+
+
+@pytest.fixture(scope="session")
+def ctx() -> EvalContext:
+    """Shared evaluation context; kernel generation and pipeline timing are
+    memoized so benchmarks measure the harness, not repeated setup."""
+    context = default_context()
+    # warm the kernel registry and timing caches once
+    context.registry.family()
+    return context

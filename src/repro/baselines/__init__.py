@@ -1,0 +1,6 @@
+"""Baseline micro-kernel models: the paper's NEON and BLIS comparators."""
+
+from .blis_asm import blis_kernel_model
+from .neon_handwritten import neon_kernel_model
+
+__all__ = ["blis_kernel_model", "neon_kernel_model"]

@@ -1,0 +1,23 @@
+"""BLIS-like GEMM substrate: the algorithm the generated kernels plug into.
+
+* :mod:`repro.blis.params` — the analytical cache model of Low et al. [9]
+  for choosing (mc, kc, nc).
+* :mod:`repro.blis.packing` — the Ac/Bc packing routines (mr/nr panels).
+* :mod:`repro.blis.gemm` — the five-loop driver executing generated
+  micro-kernels through the reference interpreter (the functional path).
+* :mod:`repro.blis.reference` — naive GEMM oracle for tests.
+"""
+
+from .gemm import BlisGemm
+from .packing import pack_a_panels, pack_b_panels, unpack_c_tile
+from .params import analytical_tile_params
+from .reference import naive_gemm
+
+__all__ = [
+    "BlisGemm",
+    "analytical_tile_params",
+    "naive_gemm",
+    "pack_a_panels",
+    "pack_b_panels",
+    "unpack_c_tile",
+]

@@ -1,0 +1,79 @@
+"""BLIS packing routines.
+
+Packing rearranges blocks of A and B into micro-panel order so the
+micro-kernel reads both operands with unit stride (Section II-A of the
+paper):
+
+* ``pack_a_panels`` — an (mc x kc) block of A becomes ceil(mc/mr) panels,
+  each stored k-major as (kc x mr): element (i, p) of panel q holds
+  ``A[q*mr + p, i]``.  This is the transposed-Ac layout the generated
+  kernels consume (``Ac: f32[KC, MR]``).
+* ``pack_b_panels`` — a (kc x nc) block of B becomes ceil(nc/nr) panels of
+  shape (kc x nr), element (i, j) of panel q holding ``B[i, q*nr + j]``.
+
+Ragged edges are zero-padded, exactly as BLIS pads its packing buffers, so
+edge tiles can run a full-size kernel safely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+
+def pack_a_panels(a_block: np.ndarray, mr: int) -> np.ndarray:
+    """Pack an (mc x kc) block row-panel-wise into (n_panels, kc, mr).
+
+    The returned array is C-contiguous, so each panel is a valid unit-stride
+    ``Ac`` operand for a generated kernel.
+    """
+    if a_block.ndim != 2:
+        raise ValueError("pack_a_panels expects a 2-D block")
+    mc, kc = a_block.shape
+    n_panels = math.ceil(mc / mr)
+    out = np.zeros((n_panels, kc, mr), dtype=a_block.dtype)
+    for q in range(n_panels):
+        rows = a_block[q * mr : (q + 1) * mr, :]
+        out[q, :, : rows.shape[0]] = rows.T
+    return out
+
+
+def pack_b_panels(b_block: np.ndarray, nr: int) -> np.ndarray:
+    """Pack a (kc x nc) block column-panel-wise into (n_panels, kc, nr)."""
+    if b_block.ndim != 2:
+        raise ValueError("pack_b_panels expects a 2-D block")
+    kc, nc = b_block.shape
+    n_panels = math.ceil(nc / nr)
+    out = np.zeros((n_panels, kc, nr), dtype=b_block.dtype)
+    for q in range(n_panels):
+        cols = b_block[:, q * nr : (q + 1) * nr]
+        out[q, :, : cols.shape[1]] = cols
+    return out
+
+
+def load_c_tile(
+    c: np.ndarray, i0: int, j0: int, mr: int, nr: int
+) -> np.ndarray:
+    """Copy the (mr x nr) tile of C at (i0, j0) into the kernel's transposed
+    dense layout (nr x mr), zero-padding past the matrix edge.
+
+    This mirrors the BLIS edge-case temporary (``Ct``): the kernel always
+    sees a full dense tile, and only the in-bounds region is written back.
+    """
+    tile = np.zeros((nr, mr), dtype=c.dtype)
+    mi = min(mr, c.shape[0] - i0)
+    nj = min(nr, c.shape[1] - j0)
+    tile[:nj, :mi] = c[i0 : i0 + mi, j0 : j0 + nj].T
+    return tile
+
+
+def unpack_c_tile(
+    c: np.ndarray, tile: np.ndarray, i0: int, j0: int
+) -> None:
+    """Write a kernel C tile (nr x mr, transposed) back into C at (i0, j0)."""
+    nr, mr = tile.shape
+    mi = min(mr, c.shape[0] - i0)
+    nj = min(nr, c.shape[1] - j0)
+    c[i0 : i0 + mi, j0 : j0 + nj] = tile[:nj, :mi].T

@@ -1,0 +1,23 @@
+"""Reference GEMM implementations used as test oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def naive_gemm(
+    a: np.ndarray, b: np.ndarray, c: np.ndarray, alpha: float = 1.0, beta: float = 1.0
+) -> np.ndarray:
+    """C = beta*C + alpha*A@B computed in float64, cast back to C's dtype.
+
+    Accumulating in double precision makes this a trustworthy oracle even
+    for f16 kernels.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    if c.shape != (a.shape[0], b.shape[1]):
+        raise ValueError(f"C has shape {c.shape}, expected {(a.shape[0], b.shape[1])}")
+    acc = beta * c.astype(np.float64) + alpha * (
+        a.astype(np.float64) @ b.astype(np.float64)
+    )
+    return acc.astype(c.dtype)

@@ -1,0 +1,43 @@
+"""repro.core — an Exo-like scheduling compiler, from scratch.
+
+Public surface::
+
+    from repro.core import proc, instr, DRAM, Neon, Neon8f, AVX512
+    from repro.core.scheduling import (
+        divide_loop, reorder_loops, unroll_loop, autofission, fission,
+        stage_mem, bind_expr, expand_dim, lift_alloc,
+        set_memory, set_precision, replace, rename, simplify,
+    )
+
+Write a procedure in the embedded DSL, schedule it with the primitives, and
+emit C (``p.c_code()``), a pseudo-assembly trace (``p.asm_trace()``), or run
+it on numpy buffers (``p.interpret(...)``).
+"""
+
+from .instr import instr
+from .memory import AVX512, DRAM, GENERIC, Memory, Neon, Neon8f
+from .prelude import (
+    InterpError,
+    ParseError,
+    PatternError,
+    ReproError,
+    SchedulingError,
+)
+from .proc import Procedure, proc
+
+__all__ = [
+    "AVX512",
+    "DRAM",
+    "GENERIC",
+    "InterpError",
+    "Memory",
+    "Neon",
+    "Neon8f",
+    "ParseError",
+    "PatternError",
+    "Procedure",
+    "ReproError",
+    "SchedulingError",
+    "instr",
+    "proc",
+]

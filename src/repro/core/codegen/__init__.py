@@ -1,0 +1,6 @@
+"""Code generation backends: plain C with intrinsics, and pseudo-assembly."""
+
+from .asm import AsmTrace, proc_to_asm
+from .cgen import proc_to_c
+
+__all__ = ["AsmTrace", "proc_to_asm", "proc_to_c"]

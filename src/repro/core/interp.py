@@ -1,0 +1,272 @@
+"""Reference interpreter: execute LoopIR procedures on numpy buffers.
+
+This is the semantic ground truth of the system.  Every scheduling step in
+the test suite is validated by running the procedure before and after the
+transform on random inputs and comparing results; the BLIS-like GEMM driver
+also executes generated kernels through this interpreter, so the full
+functional pipeline (packing -> micro-kernel -> unpacking) really computes
+matrix products.
+
+Calls to ``@instr`` procedures execute the instruction's semantic body —
+the same body the ``replace`` unifier verified — so replacing loops with
+intrinsics never changes interpreted behaviour.
+
+Windows are realized as numpy views, which track offsets and strides for
+free; scalar cells are single-element zero-rank views so instruction bodies
+can write through them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .affine import try_constant
+from .loopir import (
+    Alloc,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    Interval,
+    Pass,
+    Point,
+    Proc,
+    Read,
+    Reduce,
+    Stmt,
+    StrideExpr,
+    USub,
+    WindowExpr,
+)
+from .prelude import InterpError, Sym
+from .typesys import ScalarType, TensorType
+
+
+class _Frame:
+    """One activation record: symbol -> int (control) or ndarray (data)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: Dict[Sym, object] = {}
+
+    def get(self, sym: Sym):
+        try:
+            return self.values[sym]
+        except KeyError:
+            raise InterpError(f"unbound symbol {sym}") from None
+
+    def set(self, sym: Sym, val):
+        self.values[sym] = val
+
+
+def _eval_expr(e: Expr, frame: _Frame):
+    if isinstance(e, Const):
+        return e.val
+    if isinstance(e, Read):
+        val = frame.get(e.name)
+        if not e.idx:
+            if isinstance(val, np.ndarray) and val.ndim == 0:
+                return val[()]
+            return val
+        idx = tuple(int(_eval_expr(i, frame)) for i in e.idx)
+        try:
+            return val[idx]
+        except IndexError:
+            raise InterpError(
+                f"index {idx} out of bounds for {e.name} with shape "
+                f"{getattr(val, 'shape', '?')}"
+            ) from None
+    if isinstance(e, BinOp):
+        lhs = _eval_expr(e.lhs, frame)
+        rhs = _eval_expr(e.rhs, frame)
+        if e.op == "+":
+            return lhs + rhs
+        if e.op == "-":
+            return lhs - rhs
+        if e.op == "*":
+            return lhs * rhs
+        if e.op == "/":
+            if e.type.is_indexable():
+                return int(lhs) // int(rhs)
+            return lhs / rhs
+        if e.op == "%":
+            return int(lhs) % int(rhs)
+        if e.op == "<":
+            return lhs < rhs
+        if e.op == ">":
+            return lhs > rhs
+        if e.op == "<=":
+            return lhs <= rhs
+        if e.op == ">=":
+            return lhs >= rhs
+        if e.op == "==":
+            return lhs == rhs
+        if e.op == "and":
+            return bool(lhs) and bool(rhs)
+        if e.op == "or":
+            return bool(lhs) or bool(rhs)
+        raise InterpError(f"unknown operator {e.op}")
+    if isinstance(e, USub):
+        return -_eval_expr(e.arg, frame)
+    if isinstance(e, WindowExpr):
+        base = frame.get(e.name)
+        slicer = []
+        for w in e.idx:
+            if isinstance(w, Point):
+                slicer.append(int(_eval_expr(w.pt, frame)))
+            else:
+                lo = int(_eval_expr(w.lo, frame))
+                hi = int(_eval_expr(w.hi, frame))
+                slicer.append(slice(lo, hi))
+        return base[tuple(slicer)]
+    if isinstance(e, StrideExpr):
+        arr = frame.get(e.name)
+        return arr.strides[e.dim] // arr.itemsize
+    raise InterpError(f"cannot evaluate {type(e).__name__}")
+
+
+def _store(frame: _Frame, name: Sym, idx: Tuple[Expr, ...], value, reduce: bool):
+    target = frame.get(name)
+    if not isinstance(target, np.ndarray):
+        raise InterpError(f"cannot assign into non-buffer {name}")
+    if idx:
+        key = tuple(int(_eval_expr(i, frame)) for i in idx)
+    elif target.ndim == 0:
+        key = ()
+    else:
+        raise InterpError(f"whole-tensor assignment to {name} is not allowed")
+    if reduce:
+        target[key] += value
+    else:
+        target[key] = value
+
+
+def _exec_block(block: Tuple[Stmt, ...], frame: _Frame):
+    for s in block:
+        if isinstance(s, Assign):
+            _store(frame, s.name, s.idx, _eval_expr(s.rhs, frame), reduce=False)
+        elif isinstance(s, Reduce):
+            _store(frame, s.name, s.idx, _eval_expr(s.rhs, frame), reduce=True)
+        elif isinstance(s, For):
+            lo = int(_eval_expr(s.lo, frame))
+            hi = int(_eval_expr(s.hi, frame))
+            for i in range(lo, hi):
+                frame.set(s.iter, i)
+                _exec_block(s.body, frame)
+        elif isinstance(s, Alloc):
+            frame.set(s.name, _allocate(s, frame))
+        elif isinstance(s, Call):
+            _exec_call(s, frame)
+        elif isinstance(s, Pass):
+            pass
+        else:
+            raise InterpError(f"unknown statement {type(s).__name__}")
+
+
+def _allocate(alloc: Alloc, frame: _Frame) -> np.ndarray:
+    typ = alloc.type
+    if isinstance(typ, TensorType):
+        shape = tuple(int(_eval_expr(d, frame)) for d in typ.shape)
+        return np.zeros(shape, dtype=typ.base.np_dtype)
+    if isinstance(typ, ScalarType):
+        return np.zeros((), dtype=typ.np_dtype)
+    raise InterpError(f"cannot allocate type {typ}")
+
+
+def _exec_call(call: Call, frame: _Frame):
+    callee = call.proc
+    inner = _Frame()
+    for formal, actual in zip(callee.args, call.args):
+        value = _eval_expr(actual, frame)
+        if isinstance(formal.type, TensorType) and not isinstance(
+            value, np.ndarray
+        ):
+            raise InterpError(
+                f"argument {formal.name} of {callee.name} expects a buffer"
+            )
+        inner.set(formal.name, value)
+    _check_preds(callee, inner)
+    _exec_block(callee.body, inner)
+
+
+def _check_preds(proc: Proc, frame: _Frame):
+    for pred in proc.preds:
+        try:
+            ok = _eval_expr(pred, frame)
+        except InterpError:
+            continue  # stride of an unbound symbolic dimension etc.
+        if not ok:
+            from .pprint import expr_to_str
+
+            raise InterpError(
+                f"precondition {expr_to_str(pred)} failed in {proc.name}"
+            )
+
+
+def run_proc(proc: Proc, pos_args, kw_args) -> None:
+    """Execute ``proc`` with positional/keyword arguments.
+
+    Control arguments (``size``/``index``) take Python ints; numeric tensor
+    arguments take numpy arrays, modified in place (matching C semantics).
+    Scalars of shape ``[1]`` may also be passed as 1-element arrays.
+    """
+    frame = _Frame()
+    formals = list(proc.args)
+    if len(pos_args) > len(formals):
+        raise InterpError(
+            f"{proc.name} takes {len(formals)} arguments, got {len(pos_args)}"
+        )
+    bound = {}
+    for formal, actual in zip(formals, pos_args):
+        bound[formal.name.name] = actual
+    for key, val in kw_args.items():
+        if key in bound:
+            raise InterpError(f"duplicate argument {key!r}")
+        bound[key] = val
+    for formal in formals:
+        if formal.name.name not in bound:
+            raise InterpError(f"missing argument {formal.name.name!r}")
+        value = bound[formal.name.name]
+        if isinstance(formal.type, TensorType):
+            if not isinstance(value, np.ndarray):
+                raise InterpError(
+                    f"argument {formal.name.name} must be a numpy array"
+                )
+            expected = formal.type.base.np_dtype
+            if value.dtype != expected:
+                raise InterpError(
+                    f"argument {formal.name.name} must have dtype "
+                    f"{np.dtype(expected).name}, got {value.dtype.name}"
+                )
+            frame.set(formal.name, value)
+        elif formal.type.is_indexable():
+            frame.set(formal.name, int(value))
+        else:
+            frame.set(formal.name, value)
+    # shape checking once control args are bound
+    for formal in formals:
+        if isinstance(formal.type, TensorType):
+            arr = frame.get(formal.name)
+            expected_shape = []
+            static = True
+            for dim in formal.type.shape:
+                val = try_constant(dim)
+                if val is None:
+                    try:
+                        val = int(_eval_expr(dim, frame))
+                    except InterpError:
+                        static = False
+                        break
+                expected_shape.append(val)
+            if static and tuple(expected_shape) != arr.shape:
+                raise InterpError(
+                    f"argument {formal.name.name} has shape {arr.shape}, "
+                    f"expected {tuple(expected_shape)}"
+                )
+    _check_preds(proc, frame)
+    _exec_block(proc.body, frame)

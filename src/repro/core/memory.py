@@ -1,0 +1,110 @@
+"""Memory annotations: where a buffer lives.
+
+Exo attaches a *memory* to every allocation and argument (``@ DRAM``,
+``@ Neon`` ...).  Memories matter in three places:
+
+* **Scheduling safety** — ``replace`` only accepts an intrinsic when operand
+  memories match the instruction signature (a Neon load reads DRAM and
+  writes Neon registers, not the other way around).
+* **Code generation** — a DRAM allocation becomes a C array; a Neon
+  allocation becomes a bank of ``float32x4_t`` vector registers.
+* **Performance simulation** — register-resident operands cost nothing to
+  re-read; DRAM-resident operands generate memory traffic.
+
+Memories are singletons compared by identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Memory:
+    """A named storage class.
+
+    Attributes:
+        name: display name used in ``@ name`` annotations.
+        is_register_file: True for SIMD register banks.
+        vector_lanes: for register files, lanes per register at the natural
+            32-bit element width (None for scalar memories).
+        reg_bits: register width in bits (None for scalar memories).
+        ctype_vector: C type used by the codegen for one register, keyed by
+            scalar type name.  Empty for non-register memories.
+    """
+
+    name: str
+    is_register_file: bool = False
+    vector_lanes: Optional[int] = None
+    reg_bits: Optional[int] = None
+    ctype_vector: tuple = ()
+
+    def vector_ctype(self, scalar_name: str) -> str:
+        for key, val in self.ctype_vector:
+            if key == scalar_name:
+                return val
+        raise KeyError(f"memory {self.name} has no vector C type for {scalar_name}")
+
+    def lanes_for(self, scalar_bits: int) -> int:
+        """Number of lanes of a ``scalar_bits``-wide element per register."""
+        if self.reg_bits is None:
+            raise ValueError(f"memory {self.name} is not a register file")
+        return self.reg_bits // scalar_bits
+
+    def __str__(self) -> str:
+        return self.name
+
+
+DRAM = Memory("DRAM")
+"""Main memory; the default placement for buffers and arguments."""
+
+GENERIC = Memory("GENERIC")
+"""Unconstrained memory used by generic (non-ISA) instruction patterns."""
+
+Neon = Memory(
+    "Neon",
+    is_register_file=True,
+    vector_lanes=4,
+    reg_bits=128,
+    ctype_vector=(
+        ("f32", "float32x4_t"),
+        ("R", "float32x4_t"),
+        ("i32", "int32x4_t"),
+    ),
+)
+"""ARM Neon 128-bit register file viewed as 4 x 32-bit lanes (f32 or i32)."""
+
+Neon8f = Memory(
+    "Neon8f",
+    is_register_file=True,
+    vector_lanes=8,
+    reg_bits=128,
+    ctype_vector=(("f16", "float16x8_t"), ("R", "float16x8_t")),
+)
+"""ARM Neon 128-bit register file viewed as 8 x f16 lanes (the paper's
+contributed FP16 support)."""
+
+AVX512 = Memory(
+    "AVX512",
+    is_register_file=True,
+    vector_lanes=16,
+    reg_bits=512,
+    ctype_vector=(("f32", "__m512"), ("R", "__m512"), ("f64", "__m512d")),
+)
+"""Intel AVX-512 register file viewed as 16 x f32 lanes."""
+
+_ALL = {m.name: m for m in (DRAM, GENERIC, Neon, Neon8f, AVX512)}
+
+
+def memory_by_name(name: str) -> Memory:
+    try:
+        return _ALL[name]
+    except KeyError:
+        raise KeyError(f"unknown memory: {name!r}") from None
+
+
+def register_memory(mem: Memory) -> Memory:
+    """Register a user-defined memory so ``@ name`` annotations resolve."""
+    _ALL[mem.name] = mem
+    return mem

@@ -1,0 +1,429 @@
+"""The ``@proc`` front end: Python ``ast`` -> LoopIR.
+
+A procedure is written as a Python function whose body uses the DSL subset:
+
+* ``for i in seq(lo, hi):`` — counted sequential loops,
+* ``x[i, j] = e`` / ``x[i, j] += e`` — assignment and reduction,
+* ``buf: f32[N, M] @ DRAM`` — buffer allocation with a memory annotation,
+* ``assert <affine predicate>`` — procedure preconditions (``stride(x, d)``
+  is available inside predicates),
+* calls to other procedures, with window-slice arguments
+  (``C[jt, 4 * it:4 * it + 4]``).
+
+The decorator never executes the function: it reads its source with
+``inspect``, parses it with ``ast``, and symbolically elaborates annotations
+(``f32[KC, MR] @ DRAM`` is a valid Python expression tree — a ``MatMult`` of
+a subscript and a name — which we interpret as type-and-memory).
+
+Names referenced in the body resolve against the function's globals and
+closure, which lets a procedure call previously defined ``@proc`` /
+``@instr`` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, Optional
+
+from .loopir import (
+    Alloc,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    FnArg,
+    For,
+    Interval,
+    Pass,
+    Point,
+    Proc,
+    Read,
+    Reduce,
+    StrideExpr,
+    USub,
+    WindowExpr,
+)
+from .memory import DRAM, Memory, memory_by_name
+from .prelude import ParseError, SrcInfo, Sym
+from .typesys import (
+    BOOL,
+    INDEX,
+    SIZE,
+    ScalarType,
+    TensorType,
+    Type,
+    parse_scalar_type,
+)
+
+_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.FloorDiv: "/",
+    ast.Div: "/",
+    ast.Mod: "%",
+}
+
+_CMPOPS = {
+    ast.Lt: "<",
+    ast.Gt: ">",
+    ast.LtE: "<=",
+    ast.GtE: ">=",
+    ast.Eq: "==",
+}
+
+
+class _ParseScope:
+    """Lexical scope: python name -> (Sym, Type) plus parent chaining."""
+
+    def __init__(self, parent: Optional["_ParseScope"] = None):
+        self.parent = parent
+        self.entries: Dict[str, tuple] = {}
+
+    def define(self, name: str, sym: Sym, typ: Type):
+        self.entries[name] = (sym, typ)
+
+    def lookup(self, name: str) -> Optional[tuple]:
+        scope = self
+        while scope is not None:
+            if name in scope.entries:
+                return scope.entries[name]
+            scope = scope.parent
+        return None
+
+
+class _ProcParser:
+    def __init__(self, fn_ast: ast.FunctionDef, globals_: dict, srcfile: str):
+        self.fn = fn_ast
+        self.globals = globals_
+        self.srcfile = srcfile
+        self.scope = _ParseScope()
+        self.mem_of: Dict[Sym, Memory] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    def src(self, node: ast.AST) -> SrcInfo:
+        return SrcInfo(self.srcfile, getattr(node, "lineno", 0), self.fn.name)
+
+    def err(self, node: ast.AST, msg: str) -> ParseError:
+        return ParseError(f"{self.srcfile}:{getattr(node, 'lineno', '?')}: {msg}")
+
+    # -- types and annotations ------------------------------------------------
+
+    def parse_annotation(self, node: ast.AST):
+        """Return (Type, Memory-or-None) from an annotation AST."""
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            typ, _ = self.parse_annotation(node.left)
+            if not isinstance(node.right, ast.Name):
+                raise self.err(node, "memory annotation must be a name")
+            return typ, memory_by_name(node.right.id)
+        if isinstance(node, ast.Name):
+            if node.id == "size":
+                return SIZE, None
+            if node.id == "index":
+                return INDEX, None
+            if node.id == "bool":
+                return BOOL, None
+            return parse_scalar_type(node.id), None
+        if isinstance(node, ast.Subscript):
+            # f32[KC, MR] — tensor; [f32][4] — window tensor
+            window = False
+            base_node = node.value
+            if isinstance(base_node, ast.List):
+                # [f32][4] window syntax
+                if len(base_node.elts) != 1:
+                    raise self.err(node, "window type must wrap one scalar type")
+                base_node = base_node.elts[0]
+                window = True
+            if not isinstance(base_node, ast.Name):
+                raise self.err(node, "tensor base must be a scalar type name")
+            base = parse_scalar_type(base_node.id)
+            dims_node = node.slice
+            dims = (
+                dims_node.elts if isinstance(dims_node, ast.Tuple) else [dims_node]
+            )
+            shape = tuple(self.parse_expr(d, index_ctx=True) for d in dims)
+            return TensorType(base, shape, window=window), None
+        raise self.err(node, f"unsupported type annotation: {ast.dump(node)}")
+
+    # -- expressions -----------------------------------------------------------
+
+    def lookup_name(self, node: ast.Name):
+        hit = self.scope.lookup(node.id)
+        if hit is None:
+            raise self.err(node, f"unknown name {node.id!r}")
+        return hit
+
+    def parse_expr(self, node: ast.AST, index_ctx: bool = False) -> Expr:
+        info = self.src(node)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Const(node.value, BOOL, info)
+            if isinstance(node.value, int):
+                return Const(node.value, INDEX, info)
+            if isinstance(node.value, float):
+                return Const(node.value, parse_scalar_type("R"), info)
+            raise self.err(node, f"unsupported literal {node.value!r}")
+        if isinstance(node, ast.Name):
+            sym, typ = self.lookup_name(node)
+            return Read(sym, (), typ, info)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            arg = self.parse_expr(node.operand, index_ctx)
+            return USub(arg, arg.type, info)
+        if isinstance(node, ast.BinOp):
+            op = _BINOPS.get(type(node.op))
+            if op is None:
+                raise self.err(node, f"unsupported operator {type(node.op).__name__}")
+            lhs = self.parse_expr(node.left, index_ctx)
+            rhs = self.parse_expr(node.right, index_ctx)
+            typ = self._binop_type(lhs, rhs)
+            return BinOp(op, lhs, rhs, typ, info)
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self.err(node, "chained comparisons are not supported")
+            op = _CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                raise self.err(node, "unsupported comparison")
+            lhs = self.parse_expr(node.left, index_ctx=True)
+            rhs = self.parse_expr(node.comparators[0], index_ctx=True)
+            return BinOp(op, lhs, rhs, BOOL, info)
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            parts = [self.parse_expr(v) for v in node.values]
+            out = parts[0]
+            for nxt in parts[1:]:
+                out = BinOp(op, out, nxt, BOOL, info)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self.parse_access(node, info)
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "stride":
+                if len(node.args) != 2 or not isinstance(node.args[1], ast.Constant):
+                    raise self.err(node, "stride(buf, dim) expects a literal dim")
+                sym, _ = self.lookup_name(node.args[0])
+                return StrideExpr(sym, node.args[1].value, INDEX, info)
+            raise self.err(node, "only stride() calls appear inside expressions")
+        raise self.err(node, f"unsupported expression: {ast.dump(node)}")
+
+    def _binop_type(self, lhs: Expr, rhs: Expr) -> Type:
+        lt, rt = lhs.type, rhs.type
+        if lt.is_indexable() and rt.is_indexable():
+            return INDEX
+        # data arithmetic: prefer the concrete (non-generic, non-index) side
+        for t in (lt, rt):
+            if isinstance(t, ScalarType) and not t.generic:
+                return t
+        for t in (lt, rt):
+            if isinstance(t, ScalarType):
+                return t
+        raise ParseError(f"cannot type binary op over {lt} and {rt}")
+
+    def parse_access(self, node: ast.Subscript, info: SrcInfo):
+        """Parse ``buf[e0, e1]`` (Read) or ``buf[a:b, c]`` (WindowExpr)."""
+        if not isinstance(node.value, ast.Name):
+            raise self.err(node, "only direct buffer accesses are supported")
+        sym, typ = self.lookup_name(node.value)
+        if not isinstance(typ, TensorType):
+            raise self.err(node, f"{node.value.id} is not a tensor")
+        idx_node = node.slice
+        items = idx_node.elts if isinstance(idx_node, ast.Tuple) else [idx_node]
+        if len(items) != typ.rank():
+            raise self.err(
+                node,
+                f"{node.value.id} has rank {typ.rank()} but got "
+                f"{len(items)} indices",
+            )
+        has_slice = any(isinstance(i, ast.Slice) for i in items)
+        if not has_slice:
+            idx = tuple(self.parse_expr(i, index_ctx=True) for i in items)
+            return Read(sym, idx, typ.base, info)
+        widx = []
+        out_shape = []
+        for item in items:
+            if isinstance(item, ast.Slice):
+                if item.lower is None or item.upper is None or item.step:
+                    raise self.err(node, "slices must be lo:hi with no step")
+                lo = self.parse_expr(item.lower, index_ctx=True)
+                hi = self.parse_expr(item.upper, index_ctx=True)
+                widx.append(Interval(lo, hi, info))
+                out_shape.append(BinOp("-", hi, lo, INDEX, info))
+            else:
+                widx.append(Point(self.parse_expr(item, index_ctx=True), info))
+        wtyp = TensorType(typ.base, tuple(out_shape), window=True)
+        return WindowExpr(sym, tuple(widx), wtyp, info)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_stmts(self, body) -> tuple:
+        out = []
+        for node in body:
+            stmt = self.parse_stmt(node)
+            if stmt is not None:
+                out.append(stmt)
+        return tuple(out)
+
+    def parse_stmt(self, node: ast.AST):
+        info = self.src(node)
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Constant):
+            return None  # docstring / bare literal
+        if isinstance(node, ast.Pass):
+            return Pass(info)
+        if isinstance(node, ast.AnnAssign):
+            return self.parse_alloc(node, info)
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            return self.parse_assign(node, info)
+        if isinstance(node, ast.For):
+            return self.parse_for(node, info)
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            return self.parse_call(node.value, info)
+        raise self.err(node, f"unsupported statement: {type(node).__name__}")
+
+    def parse_alloc(self, node: ast.AnnAssign, info: SrcInfo) -> Alloc:
+        if node.value is not None:
+            raise self.err(node, "allocations cannot carry initializers")
+        if not isinstance(node.target, ast.Name):
+            raise self.err(node, "allocation target must be a plain name")
+        typ, mem = self.parse_annotation(node.annotation)
+        sym = Sym(node.target.id)
+        self.scope.define(node.target.id, sym, typ)
+        mem = mem or DRAM
+        self.mem_of[sym] = mem
+        return Alloc(sym, typ, mem, info)
+
+    def parse_assign(self, node, info: SrcInfo):
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                raise self.err(node, "multiple assignment targets not supported")
+            target, value, reduce = node.targets[0], node.value, False
+        else:
+            if not isinstance(node.op, ast.Add):
+                raise self.err(node, "only += reduction is supported")
+            target, value, reduce = node.target, node.value, True
+        rhs = self.parse_expr(value)
+        if isinstance(target, ast.Name):
+            sym, typ = self.lookup_name(target)
+            if isinstance(typ, TensorType):
+                raise self.err(node, "assigning a whole tensor is not allowed")
+            name, idx = sym, ()
+        elif isinstance(target, ast.Subscript):
+            access = self.parse_access(target, info)
+            if not isinstance(access, Read):
+                raise self.err(node, "cannot assign into a window slice")
+            name, idx = access.name, access.idx
+        else:
+            raise self.err(node, "unsupported assignment target")
+        cls = Reduce if reduce else Assign
+        return cls(name, idx, rhs, info)
+
+    def parse_for(self, node: ast.For, info: SrcInfo) -> For:
+        it = node.iter
+        ok = (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "seq"
+            and len(it.args) == 2
+        )
+        if not ok:
+            raise self.err(node, "loops must have the form `for i in seq(lo, hi)`")
+        if not isinstance(node.target, ast.Name):
+            raise self.err(node, "loop variable must be a plain name")
+        if node.orelse:
+            raise self.err(node, "for/else is not supported")
+        lo = self.parse_expr(it.args[0], index_ctx=True)
+        hi = self.parse_expr(it.args[1], index_ctx=True)
+        sym = Sym(node.target.id)
+        inner = _ParseScope(self.scope)
+        inner.define(node.target.id, sym, INDEX)
+        saved, self.scope = self.scope, inner
+        try:
+            body = self.parse_stmts(node.body)
+        finally:
+            self.scope = saved
+        return For(sym, lo, hi, body, info)
+
+    def parse_call(self, node: ast.Call, info: SrcInfo) -> Call:
+        if not isinstance(node.func, ast.Name):
+            raise self.err(node, "called procedure must be a plain name")
+        target = self.globals.get(node.func.id)
+        proc_ir = getattr(target, "_loopir", None)
+        if proc_ir is None:
+            raise self.err(node, f"{node.func.id!r} is not a known procedure")
+        if node.keywords:
+            raise self.err(node, "keyword arguments are not supported in calls")
+        args = tuple(self.parse_expr(a) for a in node.args)
+        if len(args) != len(proc_ir.args):
+            raise self.err(
+                node,
+                f"{proc_ir.name} expects {len(proc_ir.args)} arguments, "
+                f"got {len(args)}",
+            )
+        return Call(proc_ir, args, info)
+
+    # -- top level -----------------------------------------------------------------
+
+    def parse_proc(self) -> Proc:
+        args = []
+        fnargs = self.fn.args
+        if fnargs.posonlyargs or fnargs.kwonlyargs or fnargs.vararg or fnargs.kwarg:
+            raise self.err(self.fn, "only plain positional arguments are supported")
+        for arg in fnargs.args:
+            if arg.annotation is None:
+                raise self.err(arg, f"argument {arg.arg!r} needs a type annotation")
+            typ, mem = self.parse_annotation(arg.annotation)
+            sym = Sym(arg.arg)
+            self.scope.define(arg.arg, sym, typ)
+            if typ.is_numeric():
+                mem = mem or DRAM
+                self.mem_of[sym] = mem
+            elif mem is not None:
+                raise self.err(arg, "control arguments cannot have a memory")
+            args.append(FnArg(sym, typ, mem, self.src(arg)))
+
+        preds = []
+        body = list(self.fn.body)
+        while body and isinstance(body[0], ast.Assert):
+            preds.append(self.parse_expr(body.pop(0).test, index_ctx=True))
+        if any(isinstance(s, ast.Assert) for s in body):
+            raise self.err(self.fn, "asserts must precede all other statements")
+
+        stmts = self.parse_stmts(body)
+        return Proc(
+            name=self.fn.name,
+            args=tuple(args),
+            preds=tuple(preds),
+            body=stmts,
+            srcinfo=self.src(self.fn),
+        )
+
+
+def parse_function(fn) -> Proc:
+    """Parse a decorated Python function into a LoopIR :class:`Proc`."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise ParseError(f"cannot read source of {fn!r}: {exc}") from exc
+    module = ast.parse(source)
+    fn_ast = module.body[0]
+    if not isinstance(fn_ast, ast.FunctionDef):
+        raise ParseError(f"{fn!r} is not a function definition")
+    globals_ = dict(fn.__globals__)
+    if fn.__closure__:
+        for cell, name in zip(fn.__closure__, fn.__code__.co_freevars):
+            try:
+                globals_[name] = cell.cell_contents
+            except ValueError:
+                pass
+    srcfile = getattr(fn.__code__, "co_filename", "<unknown>")
+    return _ProcParser(fn_ast, globals_, srcfile).parse_proc()
+
+
+def parse_source(source: str, env: dict = None) -> Proc:
+    """Parse DSL source text directly (used by round-trip tests)."""
+    module = ast.parse(textwrap.dedent(source))
+    fn_ast = module.body[0]
+    if not isinstance(fn_ast, ast.FunctionDef):
+        raise ParseError("source must contain a single function definition")
+    return _ProcParser(fn_ast, dict(env or {}), "<string>").parse_proc()

@@ -1,0 +1,160 @@
+"""Exo-style pretty printer for LoopIR.
+
+Renders procedures in the same surface syntax accepted by the ``@proc``
+parser, so what users see in the step-by-step generation (the paper's
+Figures 5–11) is itself valid DSL.  Round-tripping is exercised by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .loopir import (
+    Alloc,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    Interval,
+    Pass,
+    Point,
+    Proc,
+    Read,
+    Reduce,
+    Stmt,
+    StrideExpr,
+    USub,
+    WindowExpr,
+)
+from .memory import DRAM
+from .prelude import FreshNamer, Sym
+from .typesys import TensorType
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "==": 3,
+    "<": 3,
+    ">": 3,
+    "<=": 3,
+    ">=": 3,
+    "+": 4,
+    "-": 4,
+    "*": 5,
+    "/": 5,
+    "%": 5,
+}
+
+
+class _Printer:
+    def __init__(self):
+        self.namer = FreshNamer()
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, e: Expr, prec: int = 0) -> str:
+        if isinstance(e, Const):
+            if isinstance(e.val, float):
+                return repr(e.val)
+            return str(e.val)
+        if isinstance(e, Read):
+            base = self.namer.name_of(e.name)
+            if not e.idx:
+                return base
+            return f"{base}[{', '.join(self.expr(i) for i in e.idx)}]"
+        if isinstance(e, USub):
+            inner = f"-{self.expr(e.arg, 6)}"
+            return f"({inner})" if prec > 5 else inner
+        if isinstance(e, BinOp):
+            op_prec = _PRECEDENCE[e.op]
+            text = (
+                f"{self.expr(e.lhs, op_prec)} {e.op} {self.expr(e.rhs, op_prec + 1)}"
+            )
+            return f"({text})" if op_prec < prec else text
+        if isinstance(e, WindowExpr):
+            parts = []
+            for w in e.idx:
+                if isinstance(w, Point):
+                    parts.append(self.expr(w.pt))
+                else:
+                    parts.append(f"{self.expr(w.lo)}:{self.expr(w.hi)}")
+            return f"{self.namer.name_of(e.name)}[{', '.join(parts)}]"
+        if isinstance(e, StrideExpr):
+            return f"stride({self.namer.name_of(e.name)}, {e.dim})"
+        if isinstance(e, Interval):
+            return f"{self.expr(e.lo)}:{self.expr(e.hi)}"
+        if isinstance(e, Point):
+            return self.expr(e.pt)
+        raise TypeError(f"unknown expression node: {type(e).__name__}")
+
+    # -- statements ---------------------------------------------------------
+
+    def stmts(self, block, depth: int) -> list:
+        lines = []
+        pad = "    " * depth
+        for s in block:
+            lines.extend(self.stmt(s, depth, pad))
+        return lines
+
+    def stmt(self, s: Stmt, depth: int, pad: str) -> list:
+        if isinstance(s, (Assign, Reduce)):
+            op = "+=" if isinstance(s, Reduce) else "="
+            lhs = self.namer.name_of(s.name)
+            if s.idx:
+                lhs += f"[{', '.join(self.expr(i) for i in s.idx)}]"
+            return [f"{pad}{lhs} {op} {self.expr(s.rhs)}"]
+        if isinstance(s, For):
+            head = (
+                f"{pad}for {self.namer.name_of(s.iter)} in "
+                f"seq({self.expr(s.lo)}, {self.expr(s.hi)}):"
+            )
+            return [head] + self.stmts(s.body, depth + 1)
+        if isinstance(s, Alloc):
+            name = self.namer.name_of(s.name)
+            mem = f" @ {s.mem}" if s.mem is not DRAM else " @ DRAM"
+            return [f"{pad}{name}: {self.type_str(s.type)}{mem}"]
+        if isinstance(s, Call):
+            args = ", ".join(self.expr(a) for a in s.args)
+            return [f"{pad}{s.proc.name}({args})"]
+        if isinstance(s, Pass):
+            return [f"{pad}pass"]
+        raise TypeError(f"unknown statement node: {type(s).__name__}")
+
+    def type_str(self, t) -> str:
+        if isinstance(t, TensorType):
+            dims = ", ".join(self.expr(d) for d in t.shape)
+            return f"[{t.base}][{dims}]" if t.window else f"{t.base}[{dims}]"
+        return str(t)
+
+    # -- procedures ---------------------------------------------------------
+
+    def proc(self, p: Proc) -> str:
+        args = []
+        for a in p.args:
+            text = f"{self.namer.name_of(a.name)}: {self.type_str(a.type)}"
+            if a.mem is not None and a.type.is_numeric():
+                text += f" @ {a.mem}"
+            args.append(text)
+        lines = [f"def {p.name}({', '.join(args)}):"]
+        for pred in p.preds:
+            lines.append(f"    assert {self.expr(pred)}")
+        body = self.stmts(p.body, 1)
+        lines.extend(body if body else ["    pass"])
+        return "\n".join(lines)
+
+
+def proc_to_str(p: Proc) -> str:
+    """Render a procedure in Exo-like surface syntax."""
+    return _Printer().proc(p)
+
+
+def expr_to_str(e: Expr) -> str:
+    """Render a single expression (used in error messages and tests)."""
+    return _Printer().expr(e)
+
+
+def stmt_to_str(s: Stmt) -> str:
+    """Render a single statement block rooted at ``s``."""
+    return "\n".join(_Printer().stmt(s, 0, ""))

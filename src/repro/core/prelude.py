@@ -1,0 +1,135 @@
+"""Foundational utilities for the scheduling compiler.
+
+This module provides:
+
+* :class:`Sym` — globally unique identifiers.  Scheduling transforms copy and
+  rewrite IR fragments aggressively; plain strings would make it impossible to
+  distinguish two loop variables that happen to share a source name.  A
+  ``Sym`` couples a human-readable name with a process-unique id, so alpha
+  renaming is just "allocate a fresh Sym".
+* :class:`SrcInfo` — lightweight provenance used in error messages.
+* The exception hierarchy shared by the parser, scheduling primitives, the
+  interpreter, and the code generators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(ReproError):
+    """Raised when an ``@proc`` body uses syntax outside the DSL subset."""
+
+
+class TypeError_(ReproError):
+    """Raised when an IR fragment is ill-typed (named to avoid shadowing)."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduling primitive cannot be applied safely."""
+
+
+class PatternError(ReproError):
+    """Raised when a pattern string fails to parse or to match."""
+
+
+class InterpError(ReproError):
+    """Raised when the reference interpreter encounters invalid state."""
+
+
+class CodegenError(ReproError):
+    """Raised when the C / assembly backends meet an unsupported construct."""
+
+
+_sym_counter = itertools.count(1)
+
+
+class Sym:
+    """A globally unique identifier with a human-readable name.
+
+    Two ``Sym`` objects are equal only if they are the same allocation, even
+    when their display names coincide.  ``copy()`` produces a *fresh* symbol
+    that shares the display name, which is exactly what alpha renaming needs.
+    """
+
+    __slots__ = ("_name", "_id")
+
+    def __init__(self, name: str):
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid symbol name: {name!r}")
+        self._name = name
+        self._id = next(_sym_counter)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    def copy(self) -> "Sym":
+        """Return a fresh symbol with the same display name."""
+        return Sym(self._name)
+
+    def with_name(self, name: str) -> "Sym":
+        """Return a fresh symbol with a different display name."""
+        return Sym(name)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Sym) and self._id == other._id
+
+    def __hash__(self) -> int:
+        return hash(self._id)
+
+    def __repr__(self) -> str:
+        return f"{self._name}#{self._id}"
+
+    def __str__(self) -> str:
+        return self._name
+
+
+@dataclass(frozen=True)
+class SrcInfo:
+    """Source provenance: file, line, and the originating function name."""
+
+    filename: str = "<unknown>"
+    lineno: int = 0
+    function: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.lineno}"
+
+
+NULL_SRC = SrcInfo()
+
+
+@dataclass
+class FreshNamer:
+    """Deterministic generator of display names that avoid a taken set.
+
+    Used by the pretty printer and code generators, which must map unique
+    ``Sym`` objects back to distinct strings a human (or C compiler) can read.
+    """
+
+    taken: set = field(default_factory=set)
+    _assigned: dict = field(default_factory=dict)
+
+    def name_of(self, sym: Sym) -> str:
+        """Return a stable, collision-free display name for ``sym``."""
+        if sym in self._assigned:
+            return self._assigned[sym]
+        base = sym.name
+        candidate = base
+        suffix = 0
+        while candidate in self.taken:
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        self.taken.add(candidate)
+        self._assigned[sym] = candidate
+        return candidate

@@ -1,0 +1,93 @@
+"""Renaming, constant folding, and ``simplify``."""
+
+from __future__ import annotations
+
+from ..affine import simplify_expr, try_constant
+from ..loopir import (
+    Alloc,
+    Assign,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    Pass,
+    Proc,
+    Read,
+    Reduce,
+    USub,
+    update,
+)
+from ..prelude import SchedulingError
+from ..proc import Procedure
+from ..traversal import map_stmts
+from ..typesys import TensorType
+
+
+def rename(p: Procedure, new_name: str) -> Procedure:
+    """Return a copy of ``p`` with a new procedure name."""
+    if not new_name.isidentifier():
+        raise SchedulingError(f"invalid procedure name {new_name!r}")
+    return Procedure(update(p.ir, name=new_name))
+
+
+def _fold_expr(e: Expr) -> Expr:
+    """Affine-simplify index expressions; fold numeric identities."""
+    simplified = simplify_expr(e)
+    if isinstance(simplified, BinOp) and not simplified.type.is_indexable():
+        lhs, rhs = _fold_expr(simplified.lhs), _fold_expr(simplified.rhs)
+        # x * 1, 1 * x, x + 0, 0 + x on data arithmetic
+        if simplified.op == "*":
+            if isinstance(lhs, Const) and lhs.val == 1:
+                return rhs
+            if isinstance(rhs, Const) and rhs.val == 1:
+                return lhs
+        if simplified.op == "+":
+            if isinstance(lhs, Const) and lhs.val == 0:
+                return rhs
+            if isinstance(rhs, Const) and rhs.val == 0:
+                return lhs
+        return update(simplified, lhs=lhs, rhs=rhs)
+    return simplified
+
+
+def fold_constants(ir: Proc) -> Proc:
+    """Fold and canonicalize every expression; drop degenerate loops.
+
+    A loop whose trip count folds to zero disappears; a trip count of one
+    keeps the loop (explicit structure is what scheduling patterns address —
+    collapsing is a separate, opt-in step).
+    """
+
+    def stmt_fn(s):
+        if isinstance(s, For):
+            lo = try_constant(s.lo)
+            hi = try_constant(s.hi)
+            if lo is not None and hi is not None and hi <= lo:
+                return Pass(s.srcinfo)
+        return s
+
+    body = map_stmts(ir.body, stmt_fn=stmt_fn, expr_fn=_fold_expr)
+    body = tuple(s for s in body if not isinstance(s, Pass)) or body
+    args = []
+    for a in ir.args:
+        typ = a.type
+        if isinstance(typ, TensorType):
+            typ = typ.with_shape(tuple(_fold_expr(d) for d in typ.shape))
+        args.append(update(a, type=typ))
+
+    def fold_alloc(s):
+        if isinstance(s, Alloc) and isinstance(s.type, TensorType):
+            return update(
+                s, type=s.type.with_shape(tuple(_fold_expr(d) for d in s.type.shape))
+            )
+        return s
+
+    body = map_stmts(body, stmt_fn=fold_alloc)
+    preds = tuple(_fold_expr(pr) for pr in ir.preds)
+    return update(ir, args=tuple(args), preds=preds, body=body)
+
+
+def simplify(p: Procedure) -> Procedure:
+    """Public entry: canonicalize all index arithmetic in ``p``."""
+    return Procedure(fold_constants(p.ir))

@@ -1,0 +1,173 @@
+"""Scalar and tensor types for the loop IR.
+
+The type system mirrors Exo's: numeric scalar types (``f16``/``f32``/``f64``/
+``i8``/``i32`` and the generic real ``R``), control types (``index``, ``size``,
+``bool``), and tensor types that pair a scalar type with a symbolic shape.
+
+``size`` values are positive runtime parameters (like ``KC``); ``index``
+values are loop iterators and derived affine quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .prelude import TypeError_
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def is_numeric(self) -> bool:
+        return False
+
+    def is_indexable(self) -> bool:
+        return False
+
+    def is_tensor(self) -> bool:
+        return False
+
+    def basetype(self) -> "Type":
+        return self
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """A numeric scalar type such as ``f32``.
+
+    ``generic`` marks the polymorphic real type ``R``, which unifies with any
+    floating-point type during instruction replacement.
+    """
+
+    name: str
+    bits: int
+    np_dtype: object
+    generic: bool = False
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def ctype(self) -> str:
+        return _CTYPES[self.name]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+F16 = ScalarType("f16", 16, np.float16)
+F32 = ScalarType("f32", 32, np.float32)
+F64 = ScalarType("f64", 64, np.float64)
+I8 = ScalarType("i8", 8, np.int8)
+I32 = ScalarType("i32", 32, np.int32)
+R = ScalarType("R", 32, np.float32, generic=True)
+
+_CTYPES = {
+    "f16": "_Float16",
+    "f32": "float",
+    "f64": "double",
+    "i8": "int8_t",
+    "i32": "int32_t",
+    "R": "float",
+}
+
+SCALAR_TYPES = {t.name: t for t in (F16, F32, F64, I8, I32, R)}
+
+
+@dataclass(frozen=True)
+class IndexType(Type):
+    """The type of loop iterators and affine index expressions."""
+
+    def is_indexable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "index"
+
+
+@dataclass(frozen=True)
+class SizeType(Type):
+    """The type of positive runtime size parameters (``MR``, ``KC``...)."""
+
+    def is_indexable(self) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "size"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    def __str__(self) -> str:
+        return "bool"
+
+
+INDEX = IndexType()
+SIZE = SizeType()
+BOOL = BoolType()
+
+
+@dataclass(frozen=True)
+class TensorType(Type):
+    """A tensor of scalars with a (possibly symbolic) shape.
+
+    ``shape`` entries are IR expressions; they are stored opaquely here to
+    avoid a circular import with :mod:`repro.core.loopir`.
+
+    ``window`` marks window (borrowed-slice) tensor arguments, which accept
+    strided views of larger buffers — the calling convention used by
+    ``@instr`` procedures.
+    """
+
+    base: ScalarType
+    shape: Tuple[object, ...]
+    window: bool = False
+
+    def is_tensor(self) -> bool:
+        return True
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def basetype(self) -> ScalarType:
+        return self.base
+
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def with_base(self, base: ScalarType) -> "TensorType":
+        return TensorType(base, self.shape, self.window)
+
+    def with_shape(self, shape) -> "TensorType":
+        return TensorType(self.base, tuple(shape), self.window)
+
+    def __str__(self) -> str:
+        from .pprint import expr_to_str  # local import: avoid cycle
+
+        dims = ", ".join(expr_to_str(e) for e in self.shape)
+        return f"{self.base}[{dims}]"
+
+
+def parse_scalar_type(name: str) -> ScalarType:
+    """Look up a scalar type by DSL name, e.g. ``"f32"``."""
+    try:
+        return SCALAR_TYPES[name]
+    except KeyError:
+        raise TypeError_(f"unknown scalar type: {name!r}") from None
+
+
+def types_compatible(a: ScalarType, b: ScalarType) -> bool:
+    """True when values of type ``a`` may flow where ``b`` is expected.
+
+    The generic real ``R`` unifies with any float type; otherwise types must
+    match exactly.  This check is what allows one ``@instr`` definition
+    (written against ``R``) to serve several precisions.
+    """
+    if a == b:
+        return True
+    floats = {"f16", "f32", "f64", "R"}
+    if a.generic or b.generic:
+        return a.name in floats and b.name in floats
+    return False

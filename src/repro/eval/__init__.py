@@ -1,0 +1,28 @@
+"""Evaluation harness: the paper's Section IV, figure by figure."""
+
+from .harness import (
+    EvalContext,
+    baseline_gemm_breakdown,
+    exo_gemm_breakdown,
+    fig13_solo_data,
+    fig14_square_data,
+    fig15_resnet_layer_data,
+    fig16_resnet_time_data,
+    fig17_vgg_layer_data,
+    fig18_vgg_time_data,
+)
+from .report import render_series, render_table
+
+__all__ = [
+    "EvalContext",
+    "baseline_gemm_breakdown",
+    "exo_gemm_breakdown",
+    "fig13_solo_data",
+    "fig14_square_data",
+    "fig15_resnet_layer_data",
+    "fig16_resnet_time_data",
+    "fig17_vgg_layer_data",
+    "fig18_vgg_time_data",
+    "render_series",
+    "render_table",
+]

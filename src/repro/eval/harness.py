@@ -1,0 +1,327 @@
+"""Experiment harness: regenerate every evaluation figure of the paper.
+
+Four GEMM configurations are compared throughout Section IV:
+
+* ``ALG+NEON``  — our five-loop algorithm + the hand-written intrinsics
+  8x12 kernel (no prefetch, edge cases masked);
+* ``ALG+BLIS``  — same algorithm + the BLIS assembly 8x12 kernel;
+* ``BLIS``      — the BLIS library: assembly kernel *with* in-kernel C
+  prefetch;
+* ``ALG+EXO``   — same algorithm + the generated kernel family, with
+  per-chunk kernel selection for edges and model-driven choice of the main
+  tile.
+
+Each ``fig*_data`` function returns plain dict/str/float rows so benchmarks
+and reports can render them without touching simulator internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.blis_asm import blis_kernel_model
+from repro.baselines.neon_handwritten import neon_kernel_model
+from repro.blis.params import analytical_tile_params, clamp_tiles
+from repro.isa.machine import CARMEL, MachineModel
+from repro.sim.memory import GemmShape
+from repro.sim.pipeline import KernelTrace, trace_from_kernel
+from repro.sim.timing import (
+    ChunkPlan,
+    GemmTimeBreakdown,
+    TimingModel,
+    gemm_time_model,
+    solo_kernel_gflops,
+)
+from repro.ukernel.edge import monolithic_cover, tile_cover
+from repro.ukernel.registry import (
+    DEFAULT_FAMILY,
+    KernelRegistry,
+    default_registry,
+)
+from repro.workloads.resnet50 import RESNET50_LAYERS, resnet50_instances
+from repro.workloads.square import SQUARE_SIZES
+from repro.workloads.vgg16 import VGG16_LAYERS, vgg16_instances
+
+#: solo-mode shapes of Figure 13, in the paper's plotting order
+FIG13_SHAPES: Tuple[Tuple[int, int], ...] = (
+    (8, 12),
+    (4, 4),
+    (4, 8),
+    (4, 12),
+    (8, 4),
+    (8, 8),
+)
+
+#: per-invocation call overhead of a specialized (single-case) kernel
+EXO_CALL_OVERHEAD = 10.0
+
+
+@dataclass
+class EvalContext:
+    """Shared state: machine, kernel registry, memoized timing model."""
+
+    machine: MachineModel = CARMEL
+    registry: KernelRegistry = field(default_factory=default_registry)
+    model: TimingModel = None
+
+    def __post_init__(self):
+        if self.model is None:
+            self.model = TimingModel(machine=self.machine)
+        self._neon_trace: Optional[KernelTrace] = None
+        self._blis_trace: Optional[KernelTrace] = None
+        self._exo_traces: Dict[Tuple[int, int], KernelTrace] = {}
+
+    # -- kernel traces -----------------------------------------------------
+
+    def neon_trace(self) -> KernelTrace:
+        if self._neon_trace is None:
+            self._neon_trace = neon_kernel_model(
+                8, 12, kernel=self.registry.get(8, 12)
+            )
+        return self._neon_trace
+
+    def blis_trace(self) -> KernelTrace:
+        if self._blis_trace is None:
+            self._blis_trace = blis_kernel_model(
+                8, 12, kernel=self.registry.get(8, 12)
+            )
+        return self._blis_trace
+
+    def exo_trace(self, mr: int, nr: int) -> KernelTrace:
+        key = (mr, nr)
+        if key not in self._exo_traces:
+            self._exo_traces[key] = trace_from_kernel(self.registry.get(mr, nr))
+        return self._exo_traces[key]
+
+
+_default_context: Optional[EvalContext] = None
+
+
+def default_context() -> EvalContext:
+    global _default_context
+    if _default_context is None:
+        _default_context = EvalContext()
+    return _default_context
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — solo mode
+# ---------------------------------------------------------------------------
+
+
+def fig13_solo_data(
+    kc: int = 512, ctx: Optional[EvalContext] = None
+) -> List[dict]:
+    """GFLOPS of NEON / BLIS / EXO per micro-kernel shape (Figure 13).
+
+    NEON and BLIS always run their monolithic 8x12 kernel; on edge shapes
+    only the (mr x nr) sub-tile counts as useful work.  EXO runs the exact
+    generated kernel for each shape.
+    """
+    ctx = ctx or default_context()
+    rows = []
+    for mr, nr in FIG13_SHAPES:
+        neon = solo_kernel_gflops(
+            ctx.neon_trace(), 8, 12, kc=kc, useful_mr=mr, useful_nr=nr,
+            machine=ctx.machine, model=ctx.model,
+        )
+        blis = solo_kernel_gflops(
+            ctx.blis_trace(), 8, 12, kc=kc, useful_mr=mr, useful_nr=nr,
+            machine=ctx.machine, model=ctx.model,
+        )
+        exo = solo_kernel_gflops(
+            ctx.exo_trace(mr, nr), mr, nr, kc=kc,
+            call_overhead=EXO_CALL_OVERHEAD,
+            machine=ctx.machine, model=ctx.model,
+        )
+        rows.append(
+            {"shape": f"{mr}x{nr}", "NEON": neon, "BLIS": blis, "EXO": exo}
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# GEMM breakdowns per configuration
+# ---------------------------------------------------------------------------
+
+
+def baseline_gemm_breakdown(
+    m: int,
+    n: int,
+    k: int,
+    trace: KernelTrace,
+    prefetch_c: bool = False,
+    ctx: Optional[EvalContext] = None,
+) -> GemmTimeBreakdown:
+    """Five-loop GEMM with one monolithic 8x12 kernel (NEON/BLIS models)."""
+    ctx = ctx or default_context()
+    shape = GemmShape(m, n, k)
+    tiles = clamp_tiles(analytical_tile_params(8, 12, ctx.machine), m, n, k)
+    plan = ChunkPlan(
+        trace=trace, mr=8, nr=12, count=monolithic_cover(m, n, 8, 12)
+    )
+    return gemm_time_model(
+        shape, [plan], tiles, prefetch_c=prefetch_c,
+        machine=ctx.machine, model=ctx.model,
+    )
+
+
+def exo_gemm_breakdown(
+    m: int,
+    n: int,
+    k: int,
+    main: Tuple[int, int] = (8, 12),
+    registry: Optional[KernelRegistry] = None,
+    ctx: Optional[EvalContext] = None,
+) -> GemmTimeBreakdown:
+    """Five-loop GEMM with the generated family anchored at ``main``.
+
+    The (m, n) plane decomposes into the main tile plus smaller family
+    members over the ragged edges — no masked work, every flop useful.
+    """
+    ctx = ctx or default_context()
+    if registry is not None and registry is not ctx.registry:
+        ctx = EvalContext(machine=ctx.machine, registry=registry)
+    mr_main, nr_main = main
+    shape = GemmShape(m, n, k)
+    tiles = clamp_tiles(
+        analytical_tile_params(mr_main, nr_main, ctx.machine), m, n, k
+    )
+    heights = tuple(
+        sorted({s[0] for s in DEFAULT_FAMILY if s[0] <= mr_main}, reverse=True)
+    )
+    widths = tuple(
+        sorted({s[1] for s in DEFAULT_FAMILY if s[1] <= nr_main}, reverse=True)
+    )
+    family = tuple((h, w) for h in heights for w in widths)
+    cover = tile_cover(m, n, family)
+    plans = [
+        ChunkPlan(
+            trace=ctx.exo_trace(mr, nr),
+            mr=mr,
+            nr=nr,
+            count=count,
+            call_overhead=EXO_CALL_OVERHEAD,
+        )
+        for (mr, nr), count in sorted(cover.items())
+    ]
+    return gemm_time_model(
+        shape, plans, tiles, prefetch_c=False,
+        machine=ctx.machine, model=ctx.model,
+    )
+
+
+def best_exo_breakdown(
+    m: int,
+    n: int,
+    k: int,
+    candidates: Tuple[Tuple[int, int], ...] = ((8, 12), (8, 8), (8, 4)),
+    ctx: Optional[EvalContext] = None,
+) -> Tuple[Tuple[int, int], GemmTimeBreakdown]:
+    """Model-driven main-kernel selection (the paper's Section IV-B move)."""
+    ctx = ctx or default_context()
+    best = None
+    for shape in candidates:
+        if shape[0] > m or shape[1] > n:
+            continue
+        b = exo_gemm_breakdown(m, n, k, main=shape, ctx=ctx)
+        if best is None or b.total_cycles < best[1].total_cycles:
+            best = (shape, b)
+    if best is None:
+        b = exo_gemm_breakdown(m, n, k, main=(8, 4), ctx=ctx)
+        best = ((8, 4), b)
+    return best
+
+
+def all_config_breakdowns(
+    m: int, n: int, k: int, ctx: Optional[EvalContext] = None
+) -> Dict[str, GemmTimeBreakdown]:
+    """The four Section-IV configurations for one GEMM shape."""
+    ctx = ctx or default_context()
+    return {
+        "ALG+NEON": baseline_gemm_breakdown(m, n, k, ctx.neon_trace(), ctx=ctx),
+        "ALG+BLIS": baseline_gemm_breakdown(m, n, k, ctx.blis_trace(), ctx=ctx),
+        "BLIS": baseline_gemm_breakdown(
+            m, n, k, ctx.blis_trace(), prefetch_c=True, ctx=ctx
+        ),
+        "ALG+EXO": best_exo_breakdown(m, n, k, ctx=ctx)[1],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — square sweep
+# ---------------------------------------------------------------------------
+
+
+def fig14_square_data(
+    sizes: Tuple[int, ...] = SQUARE_SIZES, ctx: Optional[EvalContext] = None
+) -> List[dict]:
+    """GFLOPS of the four configurations on square GEMMs (Figure 14)."""
+    ctx = ctx or default_context()
+    rows = []
+    for s in sizes:
+        configs = all_config_breakdowns(s, s, s, ctx=ctx)
+        row = {"size": s}
+        row.update({name: b.gflops for name, b in configs.items()})
+        best_shape, _ = best_exo_breakdown(s, s, s, ctx=ctx)
+        row["exo_kernel"] = f"{best_shape[0]}x{best_shape[1]}"
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 15-18 — DNN layers
+# ---------------------------------------------------------------------------
+
+
+def _layer_rows(layers, ctx: EvalContext) -> List[dict]:
+    rows = []
+    for layer in layers:
+        configs = all_config_breakdowns(layer.m, layer.n, layer.k, ctx=ctx)
+        row = {
+            "layer": layer.layer_id,
+            "m": layer.m,
+            "n": layer.n,
+            "k": layer.k,
+        }
+        row.update({name: b.gflops for name, b in configs.items()})
+        rows.append(row)
+    return rows
+
+
+def _instance_time_rows(instances, ctx: EvalContext) -> List[dict]:
+    """Cumulative per-configuration time over layer instances (Figs 16/18)."""
+    totals = {"ALG+NEON": 0.0, "ALG+BLIS": 0.0, "BLIS": 0.0, "ALG+EXO": 0.0}
+    rows = []
+    cache: Dict[int, Dict[str, float]] = {}
+    for number, layer in instances:
+        if layer.layer_id not in cache:
+            configs = all_config_breakdowns(layer.m, layer.n, layer.k, ctx=ctx)
+            cache[layer.layer_id] = {
+                name: b.seconds for name, b in configs.items()
+            }
+        for name, seconds in cache[layer.layer_id].items():
+            totals[name] += seconds
+        rows.append({"layer_number": number, **dict(totals)})
+    return rows
+
+
+def fig15_resnet_layer_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+    """Per-layer GFLOPS for ResNet50 v1.5 (Figure 15, Table I shapes)."""
+    return _layer_rows(RESNET50_LAYERS, ctx or default_context())
+
+
+def fig16_resnet_time_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+    """Aggregated inference time across the 53 ResNet50 layers (Figure 16)."""
+    return _instance_time_rows(resnet50_instances(), ctx or default_context())
+
+
+def fig17_vgg_layer_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+    """Per-layer GFLOPS for VGG16 (Figure 17, Table II shapes)."""
+    return _layer_rows(VGG16_LAYERS, ctx or default_context())
+
+
+def fig18_vgg_time_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+    """Aggregated inference time across the 13 VGG16 layers (Figure 18)."""
+    return _instance_time_rows(vgg16_instances(), ctx or default_context())

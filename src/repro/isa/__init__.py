@@ -1,0 +1,11 @@
+"""Hardware specification libraries and machine models.
+
+Each ISA module is a library of ``@instr`` procedures in the style of the
+paper's Figure 3: the body of each instruction is its semantics, the
+decorator carries the C intrinsic format string and the performance
+attributes consumed by the pipeline simulator.
+"""
+
+from .machine import CARMEL, GENERIC_ARM, MachineModel
+
+__all__ = ["CARMEL", "GENERIC_ARM", "MachineModel"]

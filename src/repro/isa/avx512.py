@@ -1,0 +1,98 @@
+"""Intel AVX-512 (f32) instruction library.
+
+Section III-C of the paper argues that retargeting the generator is a
+matter of swapping the instruction library handed to ``replace`` (e.g.
+``neon_vld_4xf32`` -> ``_mm512_loadu_ps``).  This module provides that
+swap target: 512-bit registers, 16 f32 lanes.
+
+AVX-512 FMA has no lane-selecting form, so the ``fmla_lane`` slot is filled
+by a broadcast-FMA pair convention: the generator's non-packed variant
+(broadcast A, full-vector FMA) is the natural schedule here, exactly as the
+paper describes for ISAs lacking ``vfmaq_laneq``.
+"""
+
+from __future__ import annotations
+
+from repro.core import AVX512, DRAM, instr
+
+__all__ = [
+    "mm512_loadu_ps",
+    "mm512_storeu_ps",
+    "mm512_fmadd_ps",
+    "mm512_set1_ps",
+    "mm512_setzero_ps",
+    "AVX512_F32_LIB",
+]
+
+
+@instr("{dst_data} = _mm512_loadu_ps(&{src_data});", pipe="load", latency=6)
+def mm512_loadu_ps(dst: [f32][16] @ AVX512, src: [f32][16] @ DRAM):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 16):
+        dst[i] = src[i]
+
+
+@instr("_mm512_storeu_ps(&{dst_data}, {src_data});", pipe="store", latency=1)
+def mm512_storeu_ps(dst: [f32][16] @ DRAM, src: [f32][16] @ AVX512):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 16):
+        dst[i] = src[i]
+
+
+@instr(
+    "{dst_data} = _mm512_fmadd_ps({lhs_data}, {rhs_data}, {dst_data});",
+    pipe="fma",
+    latency=4,
+)
+def mm512_fmadd_ps(
+    dst: [f32][16] @ AVX512, lhs: [f32][16] @ AVX512, rhs: [f32][16] @ AVX512
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 16):
+        dst[i] += lhs[i] * rhs[i]
+
+
+@instr("{dst_data} = _mm512_set1_ps({src_data});", pipe="load", latency=6)
+def mm512_set1_ps(dst: [f32][16] @ AVX512, src: [f32][1] @ DRAM):
+    assert stride(dst, 0) == 1
+    for i in seq(0, 16):
+        dst[i] = src[0]
+
+
+@instr("{dst_data} = _mm512_setzero_ps();", pipe="alu", latency=1)
+def mm512_setzero_ps(dst: [f32][16] @ AVX512):
+    assert stride(dst, 0) == 1
+    for i in seq(0, 16):
+        dst[i] = 0.0
+
+
+@instr(
+    "{dst_data} = _mm512_mul_ps({lhs_data}, {rhs_data});", pipe="fma", latency=4
+)
+def mm512_mul_ps(
+    dst: [f32][16] @ AVX512, lhs: [f32][16] @ AVX512, rhs: [f32][16] @ AVX512
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 16):
+        dst[i] = lhs[i] * rhs[i]
+
+
+AVX512_F32_LIB = {
+    "load": mm512_loadu_ps,
+    "store": mm512_storeu_ps,
+    "fmla_lane": None,  # no lane-selecting FMA: use the broadcast variant
+    "fma": mm512_fmadd_ps,
+    "broadcast": mm512_set1_ps,
+    "zero": mm512_setzero_ps,
+    "mul": mm512_mul_ps,
+    "lanes": 16,
+    "memory": AVX512,
+    "dtype": "f32",
+}
+"""Uniform description of the AVX-512 target consumed by the generator."""

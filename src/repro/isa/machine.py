@@ -1,0 +1,135 @@
+"""Machine models: the micro-architectural parameters of the target core.
+
+The paper evaluates on one NVIDIA Carmel core (ARM v8.2 embedded in the
+Jetson AGX Xavier) at 2.3 GHz.  We substitute the physical board with a
+parameterized model consumed by the pipeline and memory simulators; the
+parameters below follow the published Carmel micro-architecture: a 10-wide
+out-of-order ARM core with two 128-bit vector FMA pipes, two load ports and
+one store port, 4-cycle FMA latency, and a 64 KiB L1D / 2 MiB L2 (shared by
+a 2-core cluster) / 4 MiB L3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the data-cache hierarchy."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    assoc: int
+    latency_cycles: int
+    bandwidth_bytes_per_cycle: float
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A complete core + memory description used by all simulators.
+
+    ``pipes`` maps a functional-unit class (the ``pipe`` attribute of
+    ``@instr`` metadata) to the number of units of that class that can
+    start an operation each cycle.
+    """
+
+    name: str
+    freq_ghz: float
+    issue_width: int
+    pipes: Tuple[Tuple[str, int], ...]
+    vector_registers: int
+    vector_bits: int
+    fma_latency: int
+    load_latency: int
+    caches: Tuple[CacheLevel, ...]
+    dram_latency_cycles: int
+    dram_bandwidth_bytes_per_cycle: float
+
+    def pipe_count(self, pipe: str) -> int:
+        for name, count in self.pipes:
+            if name == pipe:
+                return count
+        return 1
+
+    def vector_lanes(self, scalar_bits: int = 32) -> int:
+        return self.vector_bits // scalar_bits
+
+    def peak_gflops(self, scalar_bits: int = 32) -> float:
+        """Peak FP throughput: FMA pipes x lanes x 2 flops x frequency."""
+        return (
+            self.pipe_count("fma")
+            * self.vector_lanes(scalar_bits)
+            * 2
+            * self.freq_ghz
+        )
+
+    def cache(self, name: str) -> CacheLevel:
+        for level in self.caches:
+            if level.name == name:
+                return level
+        raise KeyError(f"machine {self.name} has no cache level {name!r}")
+
+
+CARMEL = MachineModel(
+    name="NVIDIA Carmel (Jetson AGX Xavier)",
+    freq_ghz=2.3,
+    issue_width=4,
+    pipes=(("fma", 2), ("load", 2), ("store", 1), ("alu", 2)),
+    vector_registers=32,
+    vector_bits=128,
+    fma_latency=4,
+    load_latency=5,
+    caches=(
+        CacheLevel("L1", 64 * 1024, 64, 4, 4, 32.0),
+        CacheLevel("L2", 2 * 1024 * 1024, 64, 16, 29, 16.0),
+        CacheLevel("L3", 4 * 1024 * 1024, 64, 16, 60, 12.0),
+    ),
+    dram_latency_cycles=190,
+    dram_bandwidth_bytes_per_cycle=10.0,
+)
+"""The paper's evaluation platform: one Carmel core @ 2.3 GHz.
+
+Peak FP32 throughput is 2 pipes x 4 lanes x 2 flops x 2.3 GHz = 36.8 GFLOPS,
+consistent with the ~33 GFLOPS ceiling visible in the paper's Figure 13.
+"""
+
+GENERIC_ARM = MachineModel(
+    name="generic in-order ARM v8",
+    freq_ghz=2.0,
+    issue_width=2,
+    pipes=(("fma", 1), ("load", 1), ("store", 1), ("alu", 1)),
+    vector_registers=32,
+    vector_bits=128,
+    fma_latency=4,
+    load_latency=4,
+    caches=(
+        CacheLevel("L1", 32 * 1024, 64, 4, 3, 16.0),
+        CacheLevel("L2", 1024 * 1024, 64, 16, 20, 8.0),
+        CacheLevel("L3", 2 * 1024 * 1024, 64, 16, 45, 6.0),
+    ),
+    dram_latency_cycles=150,
+    dram_bandwidth_bytes_per_cycle=6.0,
+)
+"""A smaller in-order configuration used by ablation benchmarks."""
+
+AVX512_SERVER = MachineModel(
+    name="generic AVX-512 server core",
+    freq_ghz=2.5,
+    issue_width=4,
+    pipes=(("fma", 2), ("load", 2), ("store", 1), ("alu", 2)),
+    vector_registers=32,
+    vector_bits=512,
+    fma_latency=4,
+    load_latency=5,
+    caches=(
+        CacheLevel("L1", 32 * 1024, 64, 8, 4, 64.0),
+        CacheLevel("L2", 1024 * 1024, 64, 16, 14, 32.0),
+        CacheLevel("L3", 32 * 1024 * 1024, 64, 11, 50, 16.0),
+    ),
+    dram_latency_cycles=200,
+    dram_bandwidth_bytes_per_cycle=12.0,
+)
+"""Portability target for the Section III-C retargeting story."""

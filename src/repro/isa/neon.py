@@ -1,0 +1,132 @@
+"""ARM Neon (f32) instruction library.
+
+These are the instruction definitions the paper's Figure 3 shows: each is a
+DSL procedure whose body *is* the semantics, carrying the C intrinsic format
+string and pipeline metadata.  The ``replace`` scheduling primitive unifies
+these bodies against loop nests, so only behaviour-preserving substitutions
+are possible.
+
+Performance metadata reflects the NVIDIA Carmel core (ARM v8.2): 128-bit
+vector datapath, FMA result latency of 4 cycles on the vector pipes, loads
+and stores on dedicated load/store pipes.
+"""
+
+from __future__ import annotations
+
+from repro.core import DRAM, Neon, instr
+
+__all__ = [
+    "neon_vld_4xf32",
+    "neon_vst_4xf32",
+    "neon_vfmla_4xf32_4xf32",
+    "neon_vfmadd_4xf32_4xf32",
+    "neon_vdup_4xf32",
+    "neon_vzero_4xf32",
+    "neon_vmul_4xf32",
+    "neon_vadd_4xf32",
+    "NEON_F32_LIB",
+]
+
+
+@instr("{dst_data} = vld1q_f32(&{src_data});", pipe="load", latency=5)
+def neon_vld_4xf32(dst: [f32][4] @ Neon, src: [f32][4] @ DRAM):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = src[i]
+
+
+@instr("vst1q_f32(&{dst_data}, {src_data});", pipe="store", latency=1)
+def neon_vst_4xf32(dst: [f32][4] @ DRAM, src: [f32][4] @ Neon):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = src[i]
+
+
+@instr(
+    "{dst_data} = vfmaq_laneq_f32({dst_data}, {lhs_data}, {rhs_data}, {l});",
+    pipe="fma",
+    latency=4,
+)
+def neon_vfmla_4xf32_4xf32(
+    dst: [f32][4] @ Neon, lhs: [f32][4] @ Neon, rhs: [f32][4] @ Neon, l: index
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    assert l >= 0
+    assert l < 4
+    for i in seq(0, 4):
+        dst[i] += lhs[i] * rhs[l]
+
+
+@instr(
+    "{dst_data} = vfmaq_f32({dst_data}, {lhs_data}, {rhs_data});",
+    pipe="fma",
+    latency=4,
+)
+def neon_vfmadd_4xf32_4xf32(
+    dst: [f32][4] @ Neon, lhs: [f32][4] @ Neon, rhs: [f32][4] @ Neon
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 4):
+        dst[i] += lhs[i] * rhs[i]
+
+
+@instr("{dst_data} = vld1q_dup_f32(&{src_data});", pipe="load", latency=5)
+def neon_vdup_4xf32(dst: [f32][4] @ Neon, src: [f32][1] @ DRAM):
+    assert stride(dst, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = src[0]
+
+
+@instr("{dst_data} = vdupq_n_f32(0.0f);", pipe="alu", latency=1)
+def neon_vzero_4xf32(dst: [f32][4] @ Neon):
+    assert stride(dst, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = 0.0
+
+
+@instr(
+    "{dst_data} = vmulq_f32({lhs_data}, {rhs_data});", pipe="fma", latency=4
+)
+def neon_vmul_4xf32(
+    dst: [f32][4] @ Neon, lhs: [f32][4] @ Neon, rhs: [f32][4] @ Neon
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = lhs[i] * rhs[i]
+
+
+@instr(
+    "{dst_data} = vaddq_f32({lhs_data}, {rhs_data});", pipe="fma", latency=2
+)
+def neon_vadd_4xf32(
+    dst: [f32][4] @ Neon, lhs: [f32][4] @ Neon, rhs: [f32][4] @ Neon
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = lhs[i] + rhs[i]
+
+
+NEON_F32_LIB = {
+    "load": neon_vld_4xf32,
+    "store": neon_vst_4xf32,
+    "fmla_lane": neon_vfmla_4xf32_4xf32,
+    "fma": neon_vfmadd_4xf32_4xf32,
+    "broadcast": neon_vdup_4xf32,
+    "zero": neon_vzero_4xf32,
+    "mul": neon_vmul_4xf32,
+    "add": neon_vadd_4xf32,
+    "lanes": 4,
+    "memory": Neon,
+    "dtype": "f32",
+}
+"""Uniform description of the f32 Neon target consumed by the generator."""

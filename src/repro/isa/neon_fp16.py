@@ -1,0 +1,114 @@
+"""ARM Neon half-precision (f16) instruction library.
+
+The paper contributed FP16 support to Exo (Section I and III-D): 128-bit
+Neon registers hold 8 half-precision lanes, and the intrinsic family gains
+``_f16`` suffixes.  ``set_precision`` plus this library retargets the same
+schedule to half precision with no other changes.
+"""
+
+from __future__ import annotations
+
+from repro.core import DRAM, Neon8f, instr
+
+__all__ = [
+    "neon_vld_8xf16",
+    "neon_vst_8xf16",
+    "neon_vfmla_8xf16_8xf16",
+    "neon_vfmadd_8xf16_8xf16",
+    "neon_vdup_8xf16",
+    "neon_vzero_8xf16",
+    "NEON_F16_LIB",
+]
+
+
+@instr("{dst_data} = vld1q_f16(&{src_data});", pipe="load", latency=5)
+def neon_vld_8xf16(dst: [f16][8] @ Neon8f, src: [f16][8] @ DRAM):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 8):
+        dst[i] = src[i]
+
+
+@instr("vst1q_f16(&{dst_data}, {src_data});", pipe="store", latency=1)
+def neon_vst_8xf16(dst: [f16][8] @ DRAM, src: [f16][8] @ Neon8f):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 8):
+        dst[i] = src[i]
+
+
+@instr(
+    "{dst_data} = vfmaq_laneq_f16({dst_data}, {lhs_data}, {rhs_data}, {l});",
+    pipe="fma",
+    latency=4,
+)
+def neon_vfmla_8xf16_8xf16(
+    dst: [f16][8] @ Neon8f,
+    lhs: [f16][8] @ Neon8f,
+    rhs: [f16][8] @ Neon8f,
+    l: index,
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    assert l >= 0
+    assert l < 8
+    for i in seq(0, 8):
+        dst[i] += lhs[i] * rhs[l]
+
+
+@instr(
+    "{dst_data} = vfmaq_f16({dst_data}, {lhs_data}, {rhs_data});",
+    pipe="fma",
+    latency=4,
+)
+def neon_vfmadd_8xf16_8xf16(
+    dst: [f16][8] @ Neon8f, lhs: [f16][8] @ Neon8f, rhs: [f16][8] @ Neon8f
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 8):
+        dst[i] += lhs[i] * rhs[i]
+
+
+@instr("{dst_data} = vld1q_dup_f16(&{src_data});", pipe="load", latency=5)
+def neon_vdup_8xf16(dst: [f16][8] @ Neon8f, src: [f16][1] @ DRAM):
+    assert stride(dst, 0) == 1
+    for i in seq(0, 8):
+        dst[i] = src[0]
+
+
+@instr("{dst_data} = vdupq_n_f16(0.0);", pipe="alu", latency=1)
+def neon_vzero_8xf16(dst: [f16][8] @ Neon8f):
+    assert stride(dst, 0) == 1
+    for i in seq(0, 8):
+        dst[i] = 0.0
+
+
+@instr(
+    "{dst_data} = vmulq_f16({lhs_data}, {rhs_data});", pipe="fma", latency=4
+)
+def neon_vmul_8xf16(
+    dst: [f16][8] @ Neon8f, lhs: [f16][8] @ Neon8f, rhs: [f16][8] @ Neon8f
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 8):
+        dst[i] = lhs[i] * rhs[i]
+
+
+NEON_F16_LIB = {
+    "load": neon_vld_8xf16,
+    "store": neon_vst_8xf16,
+    "fmla_lane": neon_vfmla_8xf16_8xf16,
+    "fma": neon_vfmadd_8xf16_8xf16,
+    "broadcast": neon_vdup_8xf16,
+    "zero": neon_vzero_8xf16,
+    "mul": neon_vmul_8xf16,
+    "lanes": 8,
+    "memory": Neon8f,
+    "dtype": "f16",
+}
+"""Uniform description of the f16 Neon target consumed by the generator."""

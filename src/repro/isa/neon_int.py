@@ -1,0 +1,94 @@
+"""ARM Neon integer (i32) instruction library.
+
+The paper's motivation list, item 5: existing BLAS libraries "miss some
+relevant cases such as ... integer arithmetic."  With the generator,
+integer support is one more instruction library: 128-bit Neon registers as
+4 x i32 lanes, multiply-accumulate via ``vmlaq_laneq_s32``.  Quantized
+inference GEMMs (i8 inputs, i32 accumulation) reduce to this kernel after
+widening loads; the library models the i32 core.
+
+Integer arithmetic is exact, so the kernel tests compare bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from repro.core import DRAM, Neon, instr
+
+__all__ = [
+    "neon_vld_4xi32",
+    "neon_vst_4xi32",
+    "neon_vmla_lane_4xi32",
+    "neon_vmla_4xi32",
+    "neon_vdup_4xi32",
+    "NEON_I32_LIB",
+]
+
+
+@instr("{dst_data} = vld1q_s32(&{src_data});", pipe="load", latency=5)
+def neon_vld_4xi32(dst: [i32][4] @ Neon, src: [i32][4] @ DRAM):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = src[i]
+
+
+@instr("vst1q_s32(&{dst_data}, {src_data});", pipe="store", latency=1)
+def neon_vst_4xi32(dst: [i32][4] @ DRAM, src: [i32][4] @ Neon):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = src[i]
+
+
+@instr(
+    "{dst_data} = vmlaq_laneq_s32({dst_data}, {lhs_data}, {rhs_data}, {l});",
+    pipe="fma",
+    latency=3,
+)
+def neon_vmla_lane_4xi32(
+    dst: [i32][4] @ Neon, lhs: [i32][4] @ Neon, rhs: [i32][4] @ Neon, l: index
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    assert l >= 0
+    assert l < 4
+    for i in seq(0, 4):
+        dst[i] += lhs[i] * rhs[l]
+
+
+@instr(
+    "{dst_data} = vmlaq_s32({dst_data}, {lhs_data}, {rhs_data});",
+    pipe="fma",
+    latency=3,
+)
+def neon_vmla_4xi32(
+    dst: [i32][4] @ Neon, lhs: [i32][4] @ Neon, rhs: [i32][4] @ Neon
+):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, 4):
+        dst[i] += lhs[i] * rhs[i]
+
+
+@instr("{dst_data} = vld1q_dup_s32(&{src_data});", pipe="load", latency=5)
+def neon_vdup_4xi32(dst: [i32][4] @ Neon, src: [i32][1] @ DRAM):
+    assert stride(dst, 0) == 1
+    for i in seq(0, 4):
+        dst[i] = src[0]
+
+
+NEON_I32_LIB = {
+    "load": neon_vld_4xi32,
+    "store": neon_vst_4xi32,
+    "fmla_lane": neon_vmla_lane_4xi32,
+    "fma": neon_vmla_4xi32,
+    "broadcast": neon_vdup_4xi32,
+    "zero": None,
+    "mul": None,
+    "lanes": 4,
+    "memory": Neon,
+    "dtype": "i32",
+}
+"""Uniform description of the i32 Neon target consumed by the generator."""

@@ -1,0 +1,27 @@
+"""Performance simulation substrate.
+
+The paper measures GFLOPS on a physical NVIDIA Carmel core; we substitute a
+micro-architectural model with the same observable mechanisms:
+
+* :mod:`repro.sim.pipeline` — an out-of-order scoreboard scheduler over the
+  kernel's k-loop instruction trace.  Captures FMA latency hiding by
+  accumulator count (why 8x12 peaks), functional-unit contention (why loads
+  matter), and the issue constraints that separate intrinsics from assembly.
+* :mod:`repro.sim.cache` — a trace-driven set-associative cache simulator,
+  used to validate the analytical memory model on small problems.
+* :mod:`repro.sim.memory` — the analytical memory model for full GEMM:
+  packing traffic, C streaming, per-level residency of the BLIS tiles.
+* :mod:`repro.sim.timing` — composition: solo-mode kernel timing and
+  five-loop GEMM timing.
+"""
+
+from .pipeline import KernelTrace, PipelineModel, trace_from_kernel
+from .timing import gemm_time_model, solo_kernel_gflops
+
+__all__ = [
+    "KernelTrace",
+    "PipelineModel",
+    "gemm_time_model",
+    "solo_kernel_gflops",
+    "trace_from_kernel",
+]

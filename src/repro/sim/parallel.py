@@ -1,0 +1,104 @@
+"""Multi-core scaling model (the paper's future-work direction).
+
+The paper evaluates a single Carmel core; the Jetson AGX Xavier has eight.
+BLIS parallelizes the jc/ic loops across cores, so to first order the
+compute and packing work divide by the thread count while the DRAM
+bandwidth and the shared L3 are contended.  This module extends the GEMM
+timing model with that first-order behaviour: near-linear scaling while
+compute-bound, saturation once the memory streams dominate.
+
+This is deliberately simple — enough to answer "when does the kernel story
+stop being the bottleneck" — and is exercised by the scaling ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.machine import CARMEL, MachineModel
+
+from .memory import GemmShape, TileParams, memory_cost
+from .timing import ChunkPlan, GemmTimeBreakdown, TimingModel, gemm_time_model
+
+
+@dataclass
+class ParallelBreakdown:
+    """Modelled multi-threaded GEMM time."""
+
+    threads: int
+    compute_cycles: float
+    pack_cycles: float
+    c_stall_cycles: float
+    dram_limit_cycles: float
+    flops: int
+    machine: MachineModel
+
+    @property
+    def total_cycles(self) -> float:
+        busy = self.compute_cycles + self.pack_cycles + self.c_stall_cycles
+        return max(busy, self.dram_limit_cycles)
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.total_cycles * self.machine.freq_ghz
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / (self.machine.freq_ghz * 1e9)
+
+
+def parallel_gemm_time(
+    shape: GemmShape,
+    chunk_plans: List[ChunkPlan],
+    tiles: TileParams,
+    threads: int,
+    prefetch_c: bool = False,
+    machine: MachineModel = CARMEL,
+    model: Optional[TimingModel] = None,
+) -> ParallelBreakdown:
+    """Model a GEMM across ``threads`` cores.
+
+    Compute, packing, and exposed C stalls divide across threads (the jc/ic
+    loops partition cleanly at these problem sizes); the DRAM stream is a
+    shared resource and does not scale.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    single = gemm_time_model(
+        shape,
+        chunk_plans,
+        tiles,
+        prefetch_c=prefetch_c,
+        machine=machine,
+        model=model,
+    )
+    mem = memory_cost(shape, tiles, machine=machine, prefetch_c=prefetch_c)
+    dram_limit = mem.dram_bytes / machine.dram_bandwidth_bytes_per_cycle
+    return ParallelBreakdown(
+        threads=threads,
+        compute_cycles=single.compute_cycles / threads,
+        pack_cycles=single.pack_cycles / threads,
+        c_stall_cycles=single.c_stall_cycles / threads,
+        dram_limit_cycles=dram_limit,
+        flops=shape.flops,
+        machine=machine,
+    )
+
+
+def scaling_curve(
+    shape: GemmShape,
+    chunk_plans: List[ChunkPlan],
+    tiles: TileParams,
+    max_threads: int = 8,
+    machine: MachineModel = CARMEL,
+    model: Optional[TimingModel] = None,
+) -> List[ParallelBreakdown]:
+    """Breakdowns for 1..max_threads cores."""
+    return [
+        parallel_gemm_time(
+            shape, chunk_plans, tiles, t, machine=machine, model=model
+        )
+        for t in range(1, max_threads + 1)
+    ]

@@ -1,0 +1,74 @@
+"""Edge-case decomposition: covering a GEMM's (m, n) plane with a family.
+
+The paper's edge-case strategy (Section III-B, evaluated in Figure 15):
+instead of one monolithic kernel masked over partial tiles, generate a
+small family and cover the plane exactly — full 8-row panels, then 4-row,
+then 1-row tails; 12-wide columns, then 8 and 4.
+
+:func:`decompose_extent` produces the chunk lists; :func:`tile_cover`
+counts every (mr, nr) tile class a shape needs, which both the GEMM driver
+and the timing model consume.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+def decompose_extent(extent: int, sizes: Sequence[int]) -> List[int]:
+    """Greedy cover of ``extent`` by chunk sizes (largest first).
+
+    A ragged remainder smaller than every size gets one padded chunk of the
+    smallest size, mirroring the zero-padded packing buffers of BLIS.
+    """
+    if extent <= 0:
+        raise ValueError(f"extent must be positive, got {extent}")
+    ordered = sorted(set(sizes), reverse=True)
+    chunks: List[int] = []
+    left = extent
+    for size in ordered:
+        count, left = divmod(left, size)
+        chunks.extend([size] * count)
+    if left:
+        chunks.append(ordered[-1])
+    return chunks
+
+
+def tile_cover(
+    m: int,
+    n: int,
+    family: Sequence[Tuple[int, int]],
+) -> Dict[Tuple[int, int], int]:
+    """Count the micro-tiles of each family shape covering an (m, n) plane.
+
+    Row heights and column widths decompose independently; a tile class
+    (mr, nr) must exist in the family for every (height, width) pair that
+    the decomposition produces — the family is validated up front.
+    """
+    heights = sorted({s[0] for s in family}, reverse=True)
+    widths = sorted({s[1] for s in family}, reverse=True)
+    m_chunks = Counter(decompose_extent(m, heights))
+    n_chunks = Counter(decompose_extent(n, widths))
+    cover: Dict[Tuple[int, int], int] = {}
+    for mr, mcount in m_chunks.items():
+        for nr, ncount in n_chunks.items():
+            if (mr, nr) not in set(family):
+                raise KeyError(
+                    f"decomposition needs a {mr}x{nr} kernel but the family "
+                    f"only provides {sorted(set(family))}"
+                )
+            cover[(mr, nr)] = mcount * ncount
+    return cover
+
+
+def monolithic_cover(m: int, n: int, mr: int, nr: int) -> int:
+    """Tiles a single (mr, nr) kernel needs to cover the plane (padded)."""
+    return math.ceil(m / mr) * math.ceil(n / nr)
+
+
+def useful_fraction(m: int, n: int, mr: int, nr: int) -> float:
+    """Fraction of a monolithic kernel's flops that are useful work."""
+    total = monolithic_cover(m, n, mr, nr) * mr * nr
+    return (m * n) / total

@@ -1,0 +1,432 @@
+"""Step-by-step GEMM micro-kernel generation (paper Section III).
+
+The pipeline mirrors the paper's Figures 5-11 exactly:
+
+v1 (Fig 6)  ``rename`` + ``partial_eval`` — specialize (MR, NR).
+v2 (Fig 7)  ``divide_loop`` on ``i`` and ``j`` — match the vector length.
+v3 (Fig 8)  ``stage_mem`` + ``expand_dim``x3 + ``lift_alloc`` +
+            ``autofission``x2 + ``replace``(load/store) + ``set_memory`` —
+            bind the C tile to vector registers.
+v4 (Fig 9)  ``bind_expr`` + ``expand_dim``x2 + ``lift_alloc`` +
+            ``autofission`` + ``replace``(load) + ``set_memory`` — stream
+            the Ac and Bc panels through registers.
+v5 (Fig 10) ``reorder_loops`` + ``replace``(lane FMA) — compute.
+v6 (Fig 11) ``unroll_loop`` — unroll the register loads.
+
+Two kernel flavours are produced:
+
+* **packed** (the BLIS case): both operands come from packing buffers with
+  unit stride; A is loaded with vector loads and the FMA selects B lanes.
+* **non-packed / broadcast** (Section III-B): when MR is not a multiple of
+  the vector length or the A panel is not packed, A elements are broadcast
+  and the plain vector FMA is used.  This variant also serves ISAs without
+  a lane-selecting FMA (AVX-512, Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import DRAM, Procedure, proc
+from repro.core.scheduling import (
+    autofission,
+    bind_expr,
+    divide_loop,
+    expand_dim,
+    lift_alloc,
+    rename,
+    reorder_loops,
+    replace,
+    set_memory,
+    set_precision,
+    simplify,
+    stage_mem,
+    unroll_loop,
+)
+from repro.isa.neon import NEON_F32_LIB
+
+# ---------------------------------------------------------------------------
+# Reference kernels (Figures 4 and 5)
+# ---------------------------------------------------------------------------
+
+
+def make_reference_kernel() -> Procedure:
+    """The simplified micro-kernel of Figure 5 (alpha = beta = 1).
+
+    C is stored transposed (NR x MR) and Ac is packed transposed (KC x MR),
+    matching the BLIS packing conventions discussed in Section III-A.
+    """
+
+    @proc
+    def ukernel_ref(
+        MR: size,
+        NR: size,
+        KC: size,
+        Ac: f32[KC, MR] @ DRAM,
+        Bc: f32[KC, NR] @ DRAM,
+        C: f32[NR, MR] @ DRAM,
+    ):
+        for k in seq(0, KC):
+            for j in seq(0, NR):
+                for i in seq(0, MR):
+                    C[j, i] += Ac[k, i] * Bc[k, j]
+
+    return ukernel_ref
+
+
+def make_scaled_reference_kernel() -> Procedure:
+    """The full micro-kernel of Figure 4, covering alpha and beta.
+
+    Temporaries hold ``C * beta`` and ``Bc * alpha``; the outer-product loop
+    accumulates into the temporary, which is copied back at the end.
+    """
+
+    @proc
+    def ukernel_ref_scaled(
+        MR: size,
+        NR: size,
+        KC: size,
+        alpha: f32[1] @ DRAM,
+        Ac: f32[KC, MR] @ DRAM,
+        Bc: f32[KC, NR] @ DRAM,
+        beta: f32[1] @ DRAM,
+        C: f32[NR, MR] @ DRAM,
+    ):
+        Cb: f32[NR, MR] @ DRAM
+        Ba: f32[KC, NR] @ DRAM
+        for cj in seq(0, NR):
+            for ci in seq(0, MR):
+                Cb[cj, ci] = C[cj, ci] * beta[0]
+        for bk in seq(0, KC):
+            for bj in seq(0, NR):
+                Ba[bk, bj] = Bc[bk, bj] * alpha[0]
+        for k in seq(0, KC):
+            for j in seq(0, NR):
+                for i in seq(0, MR):
+                    Cb[j, i] += Ac[k, i] * Ba[k, j]
+        for cj in seq(0, NR):
+            for ci in seq(0, MR):
+                C[cj, ci] = Cb[cj, ci]
+
+    return ukernel_ref_scaled
+
+
+# ---------------------------------------------------------------------------
+# The generated kernel record
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GeneratedKernel:
+    """A finished micro-kernel plus the metadata the rest of the system uses.
+
+    Attributes:
+        proc: the scheduled procedure (call signature ``(KC, Ac, Bc, C)``).
+        mr, nr: register-tile shape.
+        lanes: vector length of the target in elements.
+        dtype: scalar type name ("f32" / "f16").
+        variant: "packed" (lane FMA) or "broadcast" (Section III-B).
+        steps: the intermediate procedures v1..v6, keyed by step name, kept
+            for inspection and for the generation tests.
+    """
+
+    proc: Procedure
+    mr: int
+    nr: int
+    lanes: int
+    dtype: str
+    variant: str
+    steps: Dict[str, Procedure]
+
+    @property
+    def name(self) -> str:
+        return self.proc.name()
+
+    def flops_per_k(self) -> int:
+        return 2 * self.mr * self.nr
+
+
+# ---------------------------------------------------------------------------
+# Scheduling pipeline
+# ---------------------------------------------------------------------------
+
+
+def generate_microkernel(
+    mr: int,
+    nr: int,
+    lib: dict = NEON_F32_LIB,
+    variant: str = "auto",
+    base: Optional[Procedure] = None,
+) -> GeneratedKernel:
+    """Generate an ``mr x nr`` micro-kernel for the given instruction library.
+
+    ``variant`` selects the kernel flavour: "packed" (requires ``mr`` to be
+    a multiple of the vector length), "broadcast" (any ``mr``), or "auto"
+    (packed when possible, else broadcast — the paper's edge-case recipe).
+    """
+    lanes = lib["lanes"]
+    if variant == "auto":
+        if mr % lanes == 0 and nr % lanes == 0 and lib["fmla_lane"]:
+            variant = "packed"
+        elif mr % lanes == 0:
+            variant = "broadcast"
+        elif mr == 1 and nr % lanes == 0:
+            variant = "row"
+        else:
+            raise ValueError(
+                f"no kernel variant covers mr={mr}, nr={nr} at vector "
+                f"length {lanes}; decompose the tile first"
+            )
+    if variant == "packed":
+        if mr % lanes != 0 or nr % lanes != 0:
+            raise ValueError(
+                f"packed variant needs MR and NR divisible by {lanes}, "
+                f"got {mr}x{nr}"
+            )
+        if not lib["fmla_lane"]:
+            raise ValueError(
+                "this ISA has no lane FMA; use the broadcast variant"
+            )
+    if variant == "broadcast" and mr % lanes != 0:
+        raise ValueError(
+            f"broadcast variant needs MR divisible by {lanes}, got {mr}"
+        )
+    if variant == "row":
+        if mr != 1 or nr % lanes != 0:
+            raise ValueError(
+                f"row variant needs mr=1 and NR divisible by {lanes}, "
+                f"got {mr}x{nr}"
+            )
+
+    steps: Dict[str, Procedure] = {}
+    reference = base or make_reference_kernel()
+    if lib["dtype"] != "f32":
+        reference = _retype_reference(reference, lib["dtype"])
+
+    # v1 — specialize the problem size (Figure 6)
+    p = rename(reference, f"uk_{mr}x{nr}_{lib['dtype']}_{variant}")
+    p = p.partial_eval(mr, nr)
+    steps["v1_specialized"] = p
+
+    if variant == "packed":
+        p = _schedule_packed(p, mr, nr, lib, steps)
+    elif variant == "broadcast":
+        p = _schedule_broadcast(p, mr, nr, lib, steps)
+    else:
+        p = _schedule_row(p, nr, lib, steps)
+
+    return GeneratedKernel(
+        proc=p,
+        mr=mr,
+        nr=nr,
+        lanes=lanes,
+        dtype=lib["dtype"],
+        variant=variant,
+        steps=steps,
+    )
+
+
+def _schedule_packed(
+    p: Procedure, mr: int, nr: int, lib: dict, steps: Dict[str, Procedure]
+) -> Procedure:
+    lanes = lib["lanes"]
+
+    # v2 — split i and j to the vector length (Figure 7)
+    p = divide_loop(p, "i", lanes, ["it", "itt"], perfect=True)
+    p = divide_loop(p, "j", lanes, ["jt", "jtt"], perfect=True)
+    steps["v2_loop_structure"] = p
+
+    # v3 — bind the C tile to vector registers (Figure 8)
+    cp = f"C[{lanes} * jt + jtt, {lanes} * it + itt]"
+    p = stage_mem(p, "C[_] += _", cp, "C_reg")
+    p = expand_dim(p, "C_reg", lanes, "itt")
+    p = expand_dim(p, "C_reg", mr // lanes, "it")
+    p = expand_dim(p, "C_reg", nr, f"jt * {lanes} + jtt")
+    p = lift_alloc(p, "C_reg", n_lifts=5)
+    p = autofission(p, p.find("C_reg[_] = _").after(), n_lifts=5)
+    p = autofission(p, p.find("C[_] = _").before(), n_lifts=5)
+    p = replace(p, "for itt in _: _", lib["load"])
+    p = replace(p, "for itt in _: _ #1", lib["store"])
+    p = set_memory(p, "C_reg", lib["memory"])
+    steps["v3_c_registers"] = p
+
+    # v4 — stream Ac and Bc through registers (Figure 9)
+    p = _stage_operand(p, "Ac", "A_reg", mr, "it", "itt", lanes, lib)
+    p = _stage_operand(p, "Bc", "B_reg", nr, "jt", "jtt", lanes, lib)
+    steps["v4_ab_registers"] = p
+
+    # v5 — lane-selecting FMA (Figure 10)
+    p = reorder_loops(p, "jtt it")
+    p = replace(p, "for itt in _: _", lib["fmla_lane"])
+    p = simplify(p)
+    steps["v5_fma"] = p
+
+    # v6 — unroll the register loads (Figure 11).  The '#1' selectors skip
+    # the C-tile load nest (match #0), targeting the k-loop operand loads.
+    p = unroll_loop(p, "it #1")
+    p = unroll_loop(p, "jt #1")
+    p = simplify(p)
+    steps["v6_unrolled"] = p
+    return p
+
+
+def _stage_operand(
+    p: Procedure,
+    buf: str,
+    reg: str,
+    extent: int,
+    outer: str,
+    inner: str,
+    lanes: int,
+    lib: dict,
+) -> Procedure:
+    """Stage one packed operand into registers (Figure 9, shown for Xc).
+
+    The four-level fission hoists the load to sit directly under the k-loop:
+    levels the load's indices use get duplicated loops, loop-independent
+    levels are hoisted by the autofission prologue rule.
+    """
+    p = bind_expr(p, f"{buf}[_]", reg)
+    p = expand_dim(p, reg, lanes, inner)
+    p = expand_dim(p, reg, extent // lanes, outer)
+    p = lift_alloc(p, reg, n_lifts=5)
+    p = autofission(p, p.find(f"{reg}[_] = _").after(), n_lifts=4)
+    p = replace(p, f"for {inner} in _: _", lib["load"])
+    p = set_memory(p, reg, lib["memory"])
+    return p
+
+
+def _schedule_broadcast(
+    p: "Procedure", mr: int, nr: int, lib: dict, steps: dict
+) -> "Procedure":
+    """The broadcast schedule (Sections III-B/III-C).
+
+    C and A are vectorized along the (contiguous) i dimension exactly as in
+    the packed schedule, but B elements are *broadcast* into full vectors
+    and combined with the plain vector FMA.  This serves two cases the lane
+    schedule cannot: NR not a multiple of the vector length, and ISAs with
+    no lane-selecting FMA (AVX-512).
+    """
+    lanes = lib["lanes"]
+
+    # v2 -- only i is split to the vector length
+    p = divide_loop(p, "i", lanes, ["it", "itt"], perfect=True)
+    steps["v2_loop_structure"] = p
+
+    # v3 -- C tile in registers, indexed [j][it][itt]
+    cp = f"C[j, {lanes} * it + itt]"
+    p = stage_mem(p, "C[_] += _", cp, "C_reg")
+    p = expand_dim(p, "C_reg", lanes, "itt")
+    p = expand_dim(p, "C_reg", mr // lanes, "it")
+    p = expand_dim(p, "C_reg", nr, "j")
+    p = lift_alloc(p, "C_reg", n_lifts=4)
+    p = autofission(p, p.find("C_reg[_] = _").after(), n_lifts=4)
+    p = autofission(p, p.find("C[_] = _").before(), n_lifts=4)
+    p = replace(p, "for itt in _: _", lib["load"])
+    p = replace(p, "for itt in _: _", lib["store"])
+    p = set_memory(p, "C_reg", lib["memory"])
+    steps["v3_c_registers"] = p
+
+    # v4 -- A panel through vector loads; B elements broadcast per j
+    p = bind_expr(p, "Ac[_]", "A_reg")
+    p = expand_dim(p, "A_reg", lanes, "itt")
+    p = expand_dim(p, "A_reg", mr // lanes, "it")
+    p = lift_alloc(p, "A_reg", n_lifts=4)
+    p = autofission(p, p.find("A_reg[_] = _").after(), n_lifts=3)
+    p = replace(p, "for itt in _: _", lib["load"])
+    p = set_memory(p, "A_reg", lib["memory"])
+
+    p = bind_expr(p, "Bc[_]", "B_reg")
+    p = expand_dim(p, "B_reg", lanes, "itt")
+    p = lift_alloc(p, "B_reg", n_lifts=4)
+    p = autofission(p, p.find("B_reg[_] = _").after(), n_lifts=2)
+    p = replace(p, "for itt in _: _", lib["broadcast"])
+    p = set_memory(p, "B_reg", lib["memory"])
+    steps["v4_ab_registers"] = p
+
+    # v5 -- full-vector FMA
+    p = replace(p, "for itt in _: _", lib["fma"])
+    p = simplify(p)
+    steps["v5_fma"] = p
+
+    # v6 -- unroll the A loads under the k-loop ('#1' skips the C-load nest)
+    p = unroll_loop(p, "it #1")
+    p = simplify(p)
+    steps["v6_unrolled"] = p
+    return p
+
+
+def _schedule_row(
+    p: "Procedure", nr: int, lib: dict, steps: dict
+) -> "Procedure":
+    """The 1 x NR row schedule used for m-dimension tails (Section III-B).
+
+    With MR = 1 the transposed C tile (NR x 1) is contiguous along j, so C
+    and B are vectorized along j while the single A element is broadcast --
+    the ``neon_vfmadd`` recipe the paper describes for the 1x8 and 1x12
+    kernels of the ResNet evaluation.
+    """
+    lanes = lib["lanes"]
+
+    # v2 -- drop the trip-1 i loop; split j to the vector length
+    p = unroll_loop(p, "i")
+    p = divide_loop(p, "j", lanes, ["jt", "jtt"], perfect=True)
+    steps["v2_loop_structure"] = p
+
+    # v3 -- C column tile in registers, indexed [jt][jtt]
+    cp = f"C[{lanes} * jt + jtt, 0]"
+    p = stage_mem(p, "C[_] += _", cp, "C_reg")
+    p = expand_dim(p, "C_reg", lanes, "jtt")
+    p = expand_dim(p, "C_reg", nr // lanes, "jt")
+    p = lift_alloc(p, "C_reg", n_lifts=3)
+    p = autofission(p, p.find("C_reg[_] = _").after(), n_lifts=3)
+    p = autofission(p, p.find("C[_] = _").before(), n_lifts=3)
+    p = replace(p, "for jtt in _: _", lib["load"])
+    p = replace(p, "for jtt in _: _", lib["store"])
+    p = set_memory(p, "C_reg", lib["memory"])
+    steps["v3_c_registers"] = p
+
+    # v4 -- broadcast the A element; vector-load the B panel
+    p = bind_expr(p, "Ac[_]", "A_reg")
+    p = expand_dim(p, "A_reg", lanes, "jtt")
+    p = lift_alloc(p, "A_reg", n_lifts=3)
+    p = autofission(p, p.find("A_reg[_] = _").after(), n_lifts=2)
+    p = replace(p, "for jtt in _: _", lib["broadcast"])
+    p = set_memory(p, "A_reg", lib["memory"])
+
+    p = bind_expr(p, "Bc[_]", "B_reg")
+    p = expand_dim(p, "B_reg", lanes, "jtt")
+    p = expand_dim(p, "B_reg", nr // lanes, "jt")
+    p = lift_alloc(p, "B_reg", n_lifts=3)
+    p = autofission(p, p.find("B_reg[_] = _").after(), n_lifts=2)
+    p = replace(p, "for jtt in _: _", lib["load"])
+    p = set_memory(p, "B_reg", lib["memory"])
+    steps["v4_ab_registers"] = p
+
+    # v5 -- full-vector FMA
+    p = replace(p, "for jtt in _: _", lib["fma"])
+    p = simplify(p)
+    steps["v5_fma"] = p
+
+    # v6 -- unroll the B loads under the k-loop ('#1' skips the C-load nest)
+    p = unroll_loop(p, "jt #1")
+    p = simplify(p)
+    steps["v6_unrolled"] = p
+    return p
+
+
+def _retype_reference(reference: Procedure, dtype: str) -> Procedure:
+    """Retarget the f32 reference kernel to another precision (III-D)."""
+    p = reference
+    for arg in ("Ac", "Bc", "C"):
+        p = set_precision(p, arg, dtype)
+    return p
+
+
+def generate_all_steps(
+    mr: int = 8, nr: int = 12, lib: dict = NEON_F32_LIB
+) -> List[Tuple[str, Procedure]]:
+    """The full v1..v6 sequence for display (the paper's Section III demo)."""
+    kernel = generate_microkernel(mr, nr, lib)
+    return list(kernel.steps.items())

@@ -1,0 +1,100 @@
+"""Kernel registry and model-driven kernel selection.
+
+The paper's point 4: with generation this cheap, "the optimization process
+for each problem ... boils down to evaluating a number of generated
+micro-kernels."  The registry memoizes generated kernels and their pipeline
+timings; :func:`select_kernel_for` ranks candidate register tiles for a
+given GEMM shape using the full timing model and returns the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.isa.neon import NEON_F32_LIB
+
+from .generator import GeneratedKernel, generate_microkernel
+
+#: the register-tile family evaluated in the paper (Figures 13 and 15),
+#: closed under height x width combinations so any (m, n) plane decomposes
+#: (the paper's runs never needed 1x4; generic shapes may)
+DEFAULT_FAMILY: Tuple[Tuple[int, int], ...] = (
+    (8, 12),
+    (8, 8),
+    (8, 4),
+    (4, 12),
+    (4, 8),
+    (4, 4),
+    (1, 12),
+    (1, 8),
+    (1, 4),
+)
+
+
+@dataclass
+class KernelRegistry:
+    """Memoizing store of generated kernels, keyed by (mr, nr)."""
+
+    lib: dict = field(default_factory=lambda: NEON_F32_LIB)
+    _kernels: Dict[Tuple[int, int], GeneratedKernel] = field(
+        default_factory=dict
+    )
+
+    def get(self, mr: int, nr: int) -> GeneratedKernel:
+        key = (mr, nr)
+        if key not in self._kernels:
+            self._kernels[key] = generate_microkernel(mr, nr, self.lib)
+        return self._kernels[key]
+
+    def family(
+        self, shapes: Tuple[Tuple[int, int], ...] = DEFAULT_FAMILY
+    ) -> Dict[Tuple[int, int], GeneratedKernel]:
+        return {shape: self.get(*shape) for shape in shapes}
+
+    def __contains__(self, shape: Tuple[int, int]) -> bool:
+        return shape in self._kernels
+
+
+_default_registry: Optional[KernelRegistry] = None
+
+
+def default_registry() -> KernelRegistry:
+    """Process-wide registry so tests and benchmarks share kernels."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = KernelRegistry()
+    return _default_registry
+
+
+def select_kernel_for(
+    m: int,
+    n: int,
+    k: int,
+    candidates: Tuple[Tuple[int, int], ...] = DEFAULT_FAMILY,
+    registry: Optional[KernelRegistry] = None,
+):
+    """Pick the best main kernel for a GEMM shape by modelled time.
+
+    Returns ``(shape, breakdown)`` for the fastest candidate.  This is the
+    selection the paper applies in Section IV-B, where specific square
+    sizes favour 8x4 or 8x8 over the default 8x12.
+    """
+    from repro.eval.harness import exo_gemm_breakdown
+
+    registry = registry or default_registry()
+    best = None
+    for shape in candidates:
+        mr, nr = shape
+        if mr > m or nr > n:
+            continue
+        breakdown = exo_gemm_breakdown(
+            m, n, k, main=(mr, nr), registry=registry
+        )
+        if best is None or breakdown.total_cycles < best[1].total_cycles:
+            best = (shape, breakdown)
+    if best is None:
+        shape = min(candidates, key=lambda s: s[0] * s[1])
+        breakdown = exo_gemm_breakdown(m, n, k, main=shape, registry=registry)
+        best = (shape, breakdown)
+    return best

@@ -1,0 +1,18 @@
+"""Evaluation workloads: DNN layer GEMMs (Tables I/II) and square sweeps."""
+
+from .conv import ConvSpec, im2row_gemm_dims, im2row_matrix
+from .resnet50 import RESNET50_LAYERS, resnet50_instances
+from .square import SQUARE_SIZES, square_shapes
+from .vgg16 import VGG16_LAYERS, vgg16_instances
+
+__all__ = [
+    "ConvSpec",
+    "RESNET50_LAYERS",
+    "SQUARE_SIZES",
+    "VGG16_LAYERS",
+    "im2row_gemm_dims",
+    "im2row_matrix",
+    "resnet50_instances",
+    "square_shapes",
+    "vgg16_instances",
+]

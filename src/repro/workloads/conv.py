@@ -1,0 +1,90 @@
+"""Convolution layers and the IM2ROW lowering to GEMM.
+
+The paper evaluates "rectangular" GEMMs obtained by applying the IM2ROW
+transform [25] to DNN convolution layers: each output pixel becomes a GEMM
+row holding the receptive-field patch, so a convolution with ``cout``
+filters of size ``kh x kw`` over ``cin`` channels becomes
+
+    m = batch * out_h * out_w,   n = cout,   k = cin * kh * kw.
+
+:func:`im2row_matrix` also materializes the transform on real tensors, so
+functional tests can check conv-by-GEMM against a direct convolution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """One convolution layer (NHWC, symmetric padding and stride)."""
+
+    height: int
+    width: int
+    cin: int
+    cout: int
+    kh: int
+    kw: int
+    stride: int = 1
+    padding: int = 0
+
+    def out_shape(self) -> Tuple[int, int]:
+        oh = (self.height + 2 * self.padding - self.kh) // self.stride + 1
+        ow = (self.width + 2 * self.padding - self.kw) // self.stride + 1
+        if oh <= 0 or ow <= 0:
+            raise ValueError(f"degenerate output for {self}")
+        return oh, ow
+
+
+def im2row_gemm_dims(spec: ConvSpec, batch: int = 1) -> Tuple[int, int, int]:
+    """GEMM (m, n, k) of an IM2ROW-lowered convolution."""
+    oh, ow = spec.out_shape()
+    return (batch * oh * ow, spec.cout, spec.cin * spec.kh * spec.kw)
+
+
+def im2row_matrix(x: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Materialize the IM2ROW matrix of an input tensor (H, W, Cin).
+
+    Row ``p`` holds the flattened receptive field of output pixel ``p`` in
+    (kh, kw, cin) order; multiplying by a (k x cout) filter matrix yields
+    the convolution outputs row per pixel.
+    """
+    if x.shape != (spec.height, spec.width, spec.cin):
+        raise ValueError(
+            f"input has shape {x.shape}, spec wants "
+            f"{(spec.height, spec.width, spec.cin)}"
+        )
+    oh, ow = spec.out_shape()
+    pad = spec.padding
+    padded = np.pad(x, ((pad, pad), (pad, pad), (0, 0)))
+    rows = np.empty(
+        (oh * ow, spec.kh * spec.kw * spec.cin), dtype=x.dtype
+    )
+    for oy in range(oh):
+        for ox in range(ow):
+            y0 = oy * spec.stride
+            x0 = ox * spec.stride
+            patch = padded[y0 : y0 + spec.kh, x0 : x0 + spec.kw, :]
+            rows[oy * ow + ox] = patch.reshape(-1)
+    return rows
+
+
+def conv_reference(x: np.ndarray, filters: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """Direct convolution oracle: (H, W, Cin) x (kh, kw, Cin, Cout)."""
+    oh, ow = spec.out_shape()
+    pad = spec.padding
+    padded = np.pad(x, ((pad, pad), (pad, pad), (0, 0))).astype(np.float64)
+    f = filters.astype(np.float64)
+    out = np.zeros((oh, ow, spec.cout))
+    for oy in range(oh):
+        for ox in range(ow):
+            y0 = oy * spec.stride
+            x0 = ox * spec.stride
+            patch = padded[y0 : y0 + spec.kh, x0 : x0 + spec.kw, :]
+            out[oy, ox] = np.tensordot(patch, f, axes=([0, 1, 2], [0, 1, 2]))
+    return out.astype(x.dtype)

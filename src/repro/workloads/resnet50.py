@@ -1,0 +1,101 @@
+"""ResNet50 v1.5 layer GEMMs — the paper's Table I.
+
+Twenty unique (m, n, k) shapes at batch size 1, each annotated with the
+layer numbers that share it (53 convolution instances in total — the
+x-axis of the paper's Figure 16).  The conv specifications are included so
+tests can re-derive every row through the IM2ROW formula; v1.5 places the
+stride-2 downsampling in the 3x3 convolutions (rows 7, 12, 17) and in the
+projection shortcuts (rows 9, 14, 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .conv import ConvSpec, im2row_gemm_dims
+
+
+@dataclass(frozen=True)
+class LayerGemm:
+    """One unique DNN-layer GEMM and the model layers sharing it."""
+
+    layer_id: int
+    layer_numbers: Tuple[int, ...]
+    m: int
+    n: int
+    k: int
+    conv: ConvSpec
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.m * self.n * self.k
+
+    @property
+    def instances(self) -> int:
+        return len(self.layer_numbers)
+
+
+def _layer(layer_id, numbers, m, n, k, conv) -> LayerGemm:
+    derived = im2row_gemm_dims(conv)
+    if derived != (m, n, k):
+        raise AssertionError(
+            f"ResNet50 layer {layer_id}: conv spec derives {derived}, "
+            f"table says {(m, n, k)}"
+        )
+    return LayerGemm(layer_id, tuple(numbers), m, n, k, conv)
+
+
+RESNET50_LAYERS: List[LayerGemm] = [
+    _layer(1, (1,), 12544, 64, 147, ConvSpec(224, 224, 3, 64, 7, 7, 2, 3)),
+    _layer(2, (6,), 3136, 64, 64, ConvSpec(56, 56, 64, 64, 1, 1)),
+    _layer(3, (9, 21, 31), 3136, 64, 576, ConvSpec(56, 56, 64, 64, 3, 3, 1, 1)),
+    _layer(4, (12, 14, 24, 34), 3136, 256, 64, ConvSpec(56, 56, 64, 256, 1, 1)),
+    _layer(5, (18, 28), 3136, 64, 256, ConvSpec(56, 56, 256, 64, 1, 1)),
+    _layer(6, (38,), 3136, 128, 256, ConvSpec(56, 56, 256, 128, 1, 1)),
+    _layer(
+        7, (41, 53, 63, 73), 784, 128, 1152, ConvSpec(56, 56, 128, 128, 3, 3, 2, 1)
+    ),
+    _layer(8, (44, 56, 66, 76), 784, 512, 128, ConvSpec(28, 28, 128, 512, 1, 1)),
+    _layer(9, (46,), 784, 512, 256, ConvSpec(56, 56, 256, 512, 1, 1, 2, 0)),
+    _layer(10, (50, 60, 70), 784, 128, 512, ConvSpec(28, 28, 512, 128, 1, 1)),
+    _layer(11, (80,), 784, 256, 512, ConvSpec(28, 28, 512, 256, 1, 1)),
+    _layer(
+        12,
+        (83, 95, 105, 115, 125, 135),
+        196,
+        256,
+        2304,
+        ConvSpec(28, 28, 256, 256, 3, 3, 2, 1),
+    ),
+    _layer(
+        13,
+        (86, 98, 108, 118, 128, 138),
+        196,
+        1024,
+        256,
+        ConvSpec(14, 14, 256, 1024, 1, 1),
+    ),
+    _layer(14, (88,), 196, 1024, 512, ConvSpec(28, 28, 512, 1024, 1, 1, 2, 0)),
+    _layer(
+        15, (92, 102, 112, 122, 132), 196, 256, 1024, ConvSpec(14, 14, 1024, 256, 1, 1)
+    ),
+    _layer(16, (142,), 196, 512, 1024, ConvSpec(14, 14, 1024, 512, 1, 1)),
+    _layer(
+        17, (145, 157, 167), 49, 512, 4608, ConvSpec(14, 14, 512, 512, 3, 3, 2, 1)
+    ),
+    _layer(18, (148, 160, 170), 49, 2048, 512, ConvSpec(7, 7, 512, 2048, 1, 1)),
+    _layer(19, (150,), 49, 2048, 1024, ConvSpec(14, 14, 1024, 2048, 1, 1, 2, 0)),
+    _layer(20, (154, 164), 49, 512, 2048, ConvSpec(7, 7, 2048, 512, 1, 1)),
+]
+"""Table I, in paper order."""
+
+
+def resnet50_instances() -> List[Tuple[int, LayerGemm]]:
+    """All 53 convolution instances as (layer_number, unique-layer) pairs,
+    sorted by layer number — the x-axis of Figure 16."""
+    out = []
+    for layer in RESNET50_LAYERS:
+        for number in layer.layer_numbers:
+            out.append((number, layer))
+    return sorted(out, key=lambda pair: pair[0])

@@ -1,0 +1,12 @@
+"""Square GEMM sweep — the x-axis of the paper's Figure 14."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+SQUARE_SIZES: Tuple[int, ...] = (1000, 2000, 3000, 4000, 5000)
+"""m = n = k values evaluated in Figure 14."""
+
+
+def square_shapes() -> List[Tuple[int, int, int]]:
+    return [(s, s, s) for s in SQUARE_SIZES]

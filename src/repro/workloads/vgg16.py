@@ -1,0 +1,38 @@
+"""VGG16 layer GEMMs — the paper's Table II.
+
+Nine unique (m, n, k) shapes at batch size 1 (13 convolution instances, the
+x-axis of Figure 18).  Values follow the paper's table verbatim.  Note one
+quirk: the table lists layer 18 (conv4_1) with n = 256, although canonical
+VGG16 gives conv4_1 512 output channels; we reproduce the paper's
+evaluation input, and the conv spec for that row is chosen to derive the
+published numbers (a 256-filter variant).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .conv import ConvSpec
+from .resnet50 import LayerGemm, _layer
+
+VGG16_LAYERS: List[LayerGemm] = [
+    _layer(1, (1,), 50176, 64, 27, ConvSpec(224, 224, 3, 64, 3, 3, 1, 1)),
+    _layer(2, (3,), 50176, 64, 576, ConvSpec(224, 224, 64, 64, 3, 3, 1, 1)),
+    _layer(3, (6,), 12544, 128, 576, ConvSpec(112, 112, 64, 128, 3, 3, 1, 1)),
+    _layer(4, (8,), 12544, 128, 1152, ConvSpec(112, 112, 128, 128, 3, 3, 1, 1)),
+    _layer(5, (11,), 3136, 256, 1152, ConvSpec(56, 56, 128, 256, 3, 3, 1, 1)),
+    _layer(6, (13, 15), 3136, 256, 2304, ConvSpec(56, 56, 256, 256, 3, 3, 1, 1)),
+    _layer(7, (18,), 784, 256, 2304, ConvSpec(28, 28, 256, 256, 3, 3, 1, 1)),
+    _layer(8, (20, 22), 784, 512, 4608, ConvSpec(28, 28, 512, 512, 3, 3, 1, 1)),
+    _layer(9, (25, 27, 29), 196, 512, 4608, ConvSpec(14, 14, 512, 512, 3, 3, 1, 1)),
+]
+"""Table II, in paper order."""
+
+
+def vgg16_instances() -> List[Tuple[int, LayerGemm]]:
+    """All 13 convolution instances as (layer_number, unique-layer) pairs."""
+    out = []
+    for layer in VGG16_LAYERS:
+        for number in layer.layer_numbers:
+            out.append((number, layer))
+    return sorted(out, key=lambda pair: pair[0])

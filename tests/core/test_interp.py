@@ -1,0 +1,169 @@
+"""Tests for the reference interpreter: the semantic ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DRAM, InterpError, Neon, proc
+
+
+@proc
+def scale(N: size, alpha: f32[1] @ DRAM, x: f32[N] @ DRAM):
+    for i in seq(0, N):
+        x[i] = x[i] * alpha[0]
+
+
+@proc
+def matvec(M: size, N: size, A: f32[M, N] @ DRAM, x: f32[N] @ DRAM, y: f32[M] @ DRAM):
+    for i in seq(0, M):
+        for j in seq(0, N):
+            y[i] += A[i, j] * x[j]
+
+
+class TestBasics:
+    def test_scale(self):
+        x = np.arange(5, dtype=np.float32)
+        scale.interpret(5, np.array([2.0], dtype=np.float32), x)
+        np.testing.assert_allclose(x, [0, 2, 4, 6, 8])
+
+    def test_matvec(self):
+        rng = np.random.default_rng(0)
+        A = rng.random((3, 4), dtype=np.float32)
+        x = rng.random(4, dtype=np.float32)
+        y = np.zeros(3, dtype=np.float32)
+        matvec.interpret(3, 4, A, x, y)
+        np.testing.assert_allclose(y, A @ x, rtol=1e-6)
+
+    def test_keyword_arguments(self):
+        x = np.ones(4, dtype=np.float32)
+        scale.interpret(N=4, alpha=np.array([3.0], dtype=np.float32), x=x)
+        np.testing.assert_allclose(x, 3.0)
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_matvec_any_size(self, n):
+        rng = np.random.default_rng(n)
+        A = rng.random((2, n), dtype=np.float32)
+        x = rng.random(n, dtype=np.float32)
+        y = np.zeros(2, dtype=np.float32)
+        matvec.interpret(2, n, A, x, y)
+        np.testing.assert_allclose(y, A @ x, rtol=1e-5)
+
+
+class TestValidation:
+    def test_wrong_dtype_rejected(self):
+        x = np.zeros(4, dtype=np.float64)
+        with pytest.raises(InterpError, match="dtype"):
+            scale.interpret(4, np.array([1.0], dtype=np.float32), x)
+
+    def test_wrong_shape_rejected(self):
+        x = np.zeros(5, dtype=np.float32)
+        with pytest.raises(InterpError, match="shape"):
+            scale.interpret(4, np.array([1.0], dtype=np.float32), x)
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(InterpError, match="missing"):
+            scale.interpret(4)
+
+    def test_non_array_rejected(self):
+        with pytest.raises(InterpError, match="numpy"):
+            scale.interpret(4, [1.0], np.zeros(4, dtype=np.float32))
+
+    def test_out_of_bounds_read_caught(self):
+        @proc
+        def oob(x: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                x[i] = x[i + 2]
+
+        with pytest.raises(InterpError, match="out of bounds"):
+            oob.interpret(np.zeros(4, dtype=np.float32))
+
+
+class TestInstrSemantics:
+    def test_call_executes_instruction_body(self):
+        from repro.isa.neon import neon_vld_4xf32, neon_vst_4xf32
+
+        @proc
+        def roundtrip(x: f32[4] @ DRAM, y: f32[4] @ DRAM):
+            buf: f32[4] @ Neon
+            neon_vld_4xf32(buf[0:4], x[0:4])
+            neon_vst_4xf32(y[0:4], buf[0:4])
+
+        x = np.arange(4, dtype=np.float32)
+        y = np.zeros(4, dtype=np.float32)
+        roundtrip.interpret(x, y)
+        np.testing.assert_array_equal(y, x)
+
+    def test_instruction_stride_precondition_enforced(self):
+        from repro.isa.neon import neon_vld_4xf32
+
+        @proc
+        def strided(x: f32[4, 4] @ DRAM):
+            buf: f32[4] @ Neon
+            neon_vld_4xf32(buf[0:4], x[0:4, 0])
+
+        with pytest.raises(InterpError, match="precondition"):
+            strided.interpret(np.zeros((4, 4), dtype=np.float32))
+
+    def test_lane_fma(self):
+        from repro.isa.neon import neon_vfmla_4xf32_4xf32
+
+        @proc
+        def fma_lane(l: index, acc: f32[4] @ Neon, a: f32[4] @ Neon, b: f32[4] @ Neon):
+            assert l >= 0
+            assert l < 4
+            neon_vfmla_4xf32_4xf32(acc[0:4], a[0:4], b[0:4], l)
+
+        acc = np.zeros(4, dtype=np.float32)
+        a = np.arange(4, dtype=np.float32)
+        b = np.array([10, 20, 30, 40], dtype=np.float32)
+        fma_lane.interpret(2, acc, a, b)
+        np.testing.assert_allclose(acc, a * 30.0)
+
+
+class TestWindows:
+    def test_window_views_alias_storage(self):
+        from repro.isa.neon import neon_vst_4xf32
+
+        @proc
+        def write_mid(x: f32[12] @ DRAM):
+            buf: f32[4] @ Neon
+            for i in seq(0, 4):
+                buf[i] = 7.0
+            neon_vst_4xf32(x[4:8], buf[0:4])
+
+        x = np.zeros(12, dtype=np.float32)
+        write_mid.interpret(x)
+        np.testing.assert_array_equal(x[4:8], 7.0)
+        np.testing.assert_array_equal(x[:4], 0.0)
+        np.testing.assert_array_equal(x[8:], 0.0)
+
+    def test_scalar_alloc_zero_rank(self):
+        @proc
+        def accum(x: f32[4] @ DRAM, out: f32[1] @ DRAM):
+            acc: f32 @ DRAM
+            acc = 0.0
+            for i in seq(0, 4):
+                acc += x[i]
+            out[0] = acc
+
+        x = np.arange(4, dtype=np.float32)
+        out = np.zeros(1, dtype=np.float32)
+        accum.interpret(x, out)
+        assert out[0] == 6.0
+
+
+class TestPredicates:
+    def test_size_predicate_checked(self):
+        @proc
+        def even_only(N: size, x: f32[N] @ DRAM):
+            assert N % 2 == 0
+            for i in seq(0, N):
+                x[i] = 0.0
+
+        even_only.interpret(4, np.zeros(4, dtype=np.float32))
+        with pytest.raises(InterpError, match="precondition"):
+            even_only.interpret(3, np.zeros(3, dtype=np.float32))

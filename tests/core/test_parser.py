@@ -1,0 +1,245 @@
+"""Tests for the @proc front end: accepted DSL and rejected syntax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DRAM, Neon, ParseError, proc
+from repro.core.loopir import (
+    Alloc,
+    Assign,
+    BinOp,
+    For,
+    Read,
+    Reduce,
+    StrideExpr,
+    WindowExpr,
+)
+from repro.core.parser import parse_source
+from repro.core.typesys import INDEX, SIZE, TensorType
+
+
+class TestSignatures:
+    def test_size_and_tensor_args(self):
+        @proc
+        def f(N: size, x: f32[N] @ DRAM):
+            for i in seq(0, N):
+                x[i] = 0.0
+
+        args = f.ir.args
+        assert args[0].type is SIZE
+        assert isinstance(args[1].type, TensorType)
+        assert args[1].type.base.name == "f32"
+        assert args[1].mem is DRAM
+
+    def test_default_memory_is_dram(self):
+        @proc
+        def f(x: f32[4]):
+            x[0] = 0.0
+
+        assert f.ir.args[0].mem is DRAM
+
+    def test_symbolic_shapes_reference_size_args(self):
+        @proc
+        def f(M: size, N: size, x: f32[M, N] @ DRAM):
+            x[0, 0] = 0.0
+
+        shape = f.ir.args[2].type.shape
+        assert isinstance(shape[0], Read)
+        assert shape[0].name == f.ir.args[0].name
+
+    def test_window_argument_types(self):
+        @proc
+        def f(dst: [f32][4] @ Neon, src: [f32][4] @ DRAM):
+            for i in seq(0, 4):
+                dst[i] = src[i]
+
+        assert f.ir.args[0].type.window
+        assert f.ir.args[0].mem is Neon
+
+    def test_missing_annotation_rejected(self):
+        with pytest.raises(ParseError, match="annotation"):
+            parse_source("def f(x):\n    pass")
+
+    def test_index_argument(self):
+        @proc
+        def f(l: index, x: f32[8] @ DRAM):
+            assert l >= 0
+            assert l < 8
+            x[l] = 0.0
+
+        assert f.ir.args[0].type is INDEX
+        assert len(f.ir.preds) == 2
+
+
+class TestBody:
+    def test_loop_structure(self):
+        @proc
+        def f(N: size, x: f32[N] @ DRAM):
+            for i in seq(0, N):
+                x[i] = 0.0
+
+        loop = f.ir.body[0]
+        assert isinstance(loop, For)
+        assert isinstance(loop.body[0], Assign)
+
+    def test_reduce_parses_to_reduce_node(self):
+        @proc
+        def f(x: f32[4] @ DRAM, y: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                x[i] += y[i]
+
+        assert isinstance(f.ir.body[0].body[0], Reduce)
+
+    def test_alloc_with_memory(self):
+        @proc
+        def f(x: f32[4] @ DRAM):
+            tmp: f32[4] @ Neon
+            for i in seq(0, 4):
+                tmp[i] = x[i]
+
+        alloc = f.ir.body[0]
+        assert isinstance(alloc, Alloc)
+        assert alloc.mem is Neon
+
+    def test_stride_assert(self):
+        @proc
+        def f(x: f32[4] @ DRAM):
+            assert stride(x, 0) == 1
+            x[0] = 0.0
+
+        pred = f.ir.preds[0]
+        assert isinstance(pred, BinOp) and isinstance(pred.lhs, StrideExpr)
+
+    def test_nested_loops_share_scope(self):
+        @proc
+        def f(N: size, x: f32[N, N] @ DRAM):
+            for i in seq(0, N):
+                for j in seq(0, N):
+                    x[i, j] = 0.0
+
+        inner = f.ir.body[0].body[0]
+        assert isinstance(inner, For)
+
+    def test_affine_index_expressions(self):
+        @proc
+        def f(x: f32[16] @ DRAM):
+            for i in seq(0, 4):
+                for j in seq(0, 4):
+                    x[4 * i + j] = 0.0
+
+        stmt = f.ir.body[0].body[0].body[0]
+        assert isinstance(stmt.idx[0], BinOp)
+
+    def test_docstring_allowed(self):
+        @proc
+        def f(x: f32[1] @ DRAM):
+            """this docstring is ignored"""
+            x[0] = 0.0
+
+        assert len(f.ir.body) == 1
+
+
+class TestCalls:
+    def test_call_with_window_args(self):
+        from repro.isa.neon import neon_vld_4xf32
+
+        @proc
+        def f(x: f32[8] @ DRAM):
+            buf: f32[8] @ Neon
+            neon_vld_4xf32(buf[0:4], x[0:4])
+            neon_vld_4xf32(buf[4:8], x[4:8])
+
+        call = f.ir.body[1]
+        assert all(isinstance(a, WindowExpr) for a in call.args)
+
+    def test_call_arity_checked(self):
+        from repro.isa.neon import neon_vld_4xf32
+
+        with pytest.raises(ParseError, match="argument"):
+
+            @proc
+            def f(x: f32[8] @ DRAM):
+                buf: f32[8] @ Neon
+                neon_vld_4xf32(buf[0:4])
+
+    def test_unknown_callee_rejected(self):
+        with pytest.raises(ParseError, match="not a known procedure"):
+            parse_source("def f(x: f32[4]):\n    mystery(x)")
+
+
+class TestRejectedSyntax:
+    def test_while_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source(
+                "def f(x: f32[4]):\n    while True:\n        pass"
+            )
+
+    def test_plain_range_rejected(self):
+        with pytest.raises(ParseError, match="seq"):
+            parse_source(
+                "def f(N: size, x: f32[N]):\n"
+                "    for i in range(0, N):\n"
+                "        x[i] = 0.0"
+            )
+
+    def test_if_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source(
+                "def f(x: f32[4]):\n    if x[0] > 0:\n        x[0] = 0.0"
+            )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ParseError, match="unknown name"):
+            parse_source("def f(x: f32[4]):\n    x[0] = y")
+
+    def test_late_assert_rejected(self):
+        with pytest.raises(ParseError, match="precede"):
+            parse_source(
+                "def f(x: f32[4]):\n    x[0] = 0.0\n    assert stride(x, 0) == 1"
+            )
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ParseError, match="rank"):
+            parse_source("def f(x: f32[4, 4]):\n    x[0] = 0.0")
+
+    def test_augmented_subtraction_rejected(self):
+        with pytest.raises(ParseError, match="reduction"):
+            parse_source("def f(x: f32[4]):\n    x[0] -= 1.0")
+
+    def test_slice_with_step_rejected(self):
+        from repro.isa.neon import neon_vld_4xf32  # noqa: F401
+
+        with pytest.raises(ParseError):
+            parse_source(
+                "def f(x: f32[8]):\n    y: f32[8] @ Neon\n"
+                "    g(y[0:8:2], x[0:4])",
+                env={"g": neon_vld_4xf32},
+            )
+
+
+class TestRoundTrip:
+    """Pretty-printed procedures re-parse to the same structure."""
+
+    def test_microkernel_roundtrip(self, matmul_ref):
+        from repro.core.parser import parse_source
+        from repro.core.pprint import proc_to_str
+
+        text = proc_to_str(matmul_ref.ir)
+        reparsed = parse_source(text)
+        assert proc_to_str(reparsed) == text
+
+    def test_roundtrip_with_allocs(self):
+        @proc
+        def f(N: size, x: f32[N] @ DRAM):
+            acc: f32[4] @ Neon
+            for i in seq(0, 4):
+                acc[i] = 0.0
+            for i in seq(0, N):
+                x[i] = x[i] * 2.0
+
+        from repro.core.parser import parse_source
+        from repro.core.pprint import proc_to_str
+
+        text = proc_to_str(f.ir)
+        assert proc_to_str(parse_source(text)) == text

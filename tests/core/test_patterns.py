@@ -1,0 +1,110 @@
+"""Tests for the pattern language and cursors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DRAM, PatternError, proc
+from repro.core.loopir import Alloc, Assign, For, Reduce
+from repro.core.patterns import (
+    find_all_stmts,
+    find_alloc,
+    find_loop,
+    find_stmt,
+    get_stmt,
+    parse_pattern,
+)
+
+
+@proc
+def sample(N: size, x: f32[N] @ DRAM, y: f32[N] @ DRAM):
+    tmp: f32[4] @ DRAM
+    for i in seq(0, 4):
+        tmp[i] = 0.0
+    for k in seq(0, N):
+        for i in seq(0, 4):
+            y[k] += x[k] * tmp[i]
+
+
+class TestParsePattern:
+    def test_loop_pattern(self):
+        p = parse_pattern("for i in _: _")
+        assert p.kind == "for" and p.name == "i"
+
+    def test_wildcard_loop(self):
+        p = parse_pattern("for _ in _: _")
+        assert p.kind == "for" and p.name is None
+
+    def test_assign_pattern(self):
+        p = parse_pattern("tmp[_] = _")
+        assert p.kind == "assign" and p.name == "tmp"
+
+    def test_reduce_pattern(self):
+        p = parse_pattern("y[_] += _")
+        assert p.kind == "reduce" and p.name == "y"
+
+    def test_scalar_assign_pattern(self):
+        p = parse_pattern("acc = _")
+        assert p.kind == "assign" and p.name == "acc"
+
+    def test_index_selector(self):
+        p = parse_pattern("for i in _: _ #1")
+        assert p.index == 1
+
+    def test_alloc_pattern(self):
+        p = parse_pattern("tmp: _")
+        assert p.kind == "alloc"
+
+    def test_call_pattern(self):
+        p = parse_pattern("neon_vld_4xf32(_)")
+        assert p.kind == "call" and p.name == "neon_vld_4xf32"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("for for for")
+
+
+class TestFind:
+    def test_find_loop_by_name(self):
+        cursor = find_loop(sample.ir, "k")
+        stmt = cursor.stmt()
+        assert isinstance(stmt, For) and stmt.iter.name == "k"
+
+    def test_find_nth_match(self):
+        first = find_stmt(sample.ir, "for i in _: _")
+        second = find_stmt(sample.ir, "for i in _: _ #1")
+        assert first.path != second.path
+        assert get_stmt(sample.ir, second.path).iter.name == "i"
+
+    def test_find_all_in_program_order(self):
+        paths = find_all_stmts(sample.ir, parse_pattern("for _ in _: _"))
+        assert len(paths) == 3
+        assert paths == sorted(paths)
+
+    def test_find_reduce(self):
+        cursor = find_stmt(sample.ir, "y[_] += _")
+        assert isinstance(cursor.stmt(), Reduce)
+
+    def test_find_alloc(self):
+        cursor = find_alloc(sample.ir, "tmp")
+        assert isinstance(cursor.stmt(), Alloc)
+
+    def test_no_match_raises(self):
+        with pytest.raises(PatternError, match="matched nothing"):
+            find_stmt(sample.ir, "for zz in _: _")
+
+    def test_out_of_range_selector_raises(self):
+        with pytest.raises(PatternError, match="only"):
+            find_stmt(sample.ir, "for i in _: _ #7")
+
+
+class TestCursors:
+    def test_gap_cursor_split_index(self):
+        cursor = find_stmt(sample.ir, "tmp[_] = _")
+        assert cursor.before().split_index() == cursor.path[-1]
+        assert cursor.after().split_index() == cursor.path[-1] + 1
+
+    def test_parent_loops(self):
+        cursor = find_stmt(sample.ir, "y[_] += _")
+        loops = cursor.parent_loops()
+        assert [l.iter.name for l in loops] == ["k", "i"]

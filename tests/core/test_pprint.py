@@ -1,0 +1,93 @@
+"""Tests for the pretty printer: syntax, precedence, naming."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DRAM, Neon, proc
+from repro.core.loopir import BinOp, Const, Read, USub
+from repro.core.pprint import expr_to_str, proc_to_str, stmt_to_str
+from repro.core.prelude import Sym
+from repro.core.typesys import INDEX
+
+
+def var(name):
+    return Read(Sym(name), (), INDEX)
+
+
+class TestExpressions:
+    def test_precedence_parenthesization(self):
+        # (a + b) * c needs parens; a + b * c does not
+        a, b, c = var("a"), var("b"), var("c")
+        e1 = BinOp("*", BinOp("+", a, b, INDEX), c, INDEX)
+        assert expr_to_str(e1) == "(a + b) * c"
+        e2 = BinOp("+", a, BinOp("*", b, c, INDEX), INDEX)
+        assert expr_to_str(e2) == "a + b * c"
+
+    def test_unary_minus(self):
+        e = USub(var("x"), INDEX)
+        assert expr_to_str(e) == "-x"
+
+    def test_minus_in_product_needs_no_parens(self):
+        # Python parses -x * y as (-x) * y, so this round-trips bare
+        e = BinOp("*", USub(var("x"), INDEX), var("y"), INDEX)
+        assert expr_to_str(e) == "-x * y"
+
+    def test_minus_of_sum_parenthesized(self):
+        e = USub(BinOp("+", var("x"), var("y"), INDEX), INDEX)
+        assert expr_to_str(e) == "-(x + y)" or expr_to_str(e) == "-x + y"
+        # the current printer renders the operand with precedence 6,
+        # guaranteeing correctness; pin the exact output:
+        assert expr_to_str(e) == "-(x + y)"
+
+    def test_float_literal(self):
+        from repro.core.typesys import R
+
+        assert expr_to_str(Const(2.0, R)) == "2.0"
+
+
+class TestProcedures:
+    def test_full_kernel_rendering(self, uk8x12):
+        text = str(uk8x12.proc)
+        assert text.startswith("def uk_8x12_f32_packed(")
+        assert "@ Neon" in text
+        assert "neon_vfmla_4xf32_4xf32(" in text
+        assert "0:4" in text  # window slices
+
+    def test_colliding_display_names_uniquified(self):
+        @proc
+        def twice(x: f32[8] @ DRAM):
+            for i in seq(0, 4):
+                x[i] = 0.0
+            for i in seq(0, 4):
+                x[i + 4] = 1.0
+
+        text = str(twice)
+        assert "for i in" in text
+        assert "for i_1 in" in text
+
+    def test_preds_rendered_as_asserts(self):
+        @proc
+        def checked(N: size, x: f32[N] @ DRAM):
+            assert N % 4 == 0
+            for i in seq(0, N):
+                x[i] = 0.0
+
+        assert "assert N % 4 == 0" in str(checked)
+
+    def test_window_types_rendered(self):
+        from repro.isa.neon import neon_vld_4xf32
+
+        text = str(neon_vld_4xf32)
+        assert "[f32][4] @ Neon" in text
+        assert "stride(" in text
+
+    def test_stmt_to_str_single(self):
+        @proc
+        def one(x: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                x[i] = 0.0
+
+        loop = one.ir.body[0]
+        text = stmt_to_str(loop)
+        assert text.splitlines()[0] == "for i in seq(0, 4):"

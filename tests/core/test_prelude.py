@@ -1,0 +1,102 @@
+"""Tests for symbols, naming, and the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.prelude import (
+    FreshNamer,
+    ParseError,
+    ReproError,
+    SchedulingError,
+    Sym,
+)
+
+
+class TestSym:
+    def test_distinct_identity(self):
+        a, b = Sym("x"), Sym("x")
+        assert a != b
+        assert a.name == b.name == "x"
+
+    def test_copy_is_fresh(self):
+        a = Sym("loop")
+        b = a.copy()
+        assert a != b
+        assert b.name == "loop"
+
+    def test_with_name(self):
+        a = Sym("i")
+        b = a.with_name("it")
+        assert b.name == "it"
+        assert a != b
+
+    def test_equality_reflexive(self):
+        a = Sym("x")
+        assert a == a
+        assert hash(a) == hash(a)
+
+    def test_usable_as_dict_key(self):
+        a, b = Sym("x"), Sym("x")
+        table = {a: 1, b: 2}
+        assert table[a] == 1
+        assert table[b] == 2
+
+    def test_repr_contains_id(self):
+        a = Sym("v")
+        assert "v#" in repr(a)
+        assert str(a) == "v"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Sym("")
+
+    def test_rejects_non_identifier(self):
+        with pytest.raises(ValueError):
+            Sym("a b")
+
+    def test_ids_monotone(self):
+        a, b = Sym("x"), Sym("y")
+        assert b.id > a.id
+
+    @given(st.text(alphabet="abcxyz_", min_size=1, max_size=8))
+    def test_many_syms_all_distinct(self, name):
+        syms = [Sym(name) for _ in range(5)]
+        assert len(set(syms)) == 5
+
+
+class TestFreshNamer:
+    def test_stable_assignment(self):
+        namer = FreshNamer()
+        a = Sym("x")
+        assert namer.name_of(a) == "x"
+        assert namer.name_of(a) == "x"
+
+    def test_collision_suffixes(self):
+        namer = FreshNamer()
+        a, b, c = Sym("x"), Sym("x"), Sym("x")
+        assert namer.name_of(a) == "x"
+        assert namer.name_of(b) == "x_1"
+        assert namer.name_of(c) == "x_2"
+
+    def test_respects_taken_set(self):
+        namer = FreshNamer(taken={"for"})
+        assert namer.name_of(Sym("for")) == "for_1"
+
+    @given(st.lists(st.sampled_from(["a", "b", "ab"]), min_size=1, max_size=20))
+    def test_all_assigned_names_unique(self, names):
+        namer = FreshNamer()
+        assigned = [namer.name_of(Sym(n)) for n in names]
+        assert len(set(assigned)) == len(assigned)
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ParseError, ReproError)
+        assert issubclass(SchedulingError, ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise SchedulingError("nope")

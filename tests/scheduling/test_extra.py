@@ -1,0 +1,175 @@
+"""Tests for inline_call, fuse_loops, and cut_loop."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from helpers import assert_equivalent
+
+from repro.core import DRAM, Neon, SchedulingError, proc
+from repro.core.loopir import Call, For
+from repro.core.scheduling import (
+    cut_loop,
+    fuse_loops,
+    inline_call,
+    replace,
+    simplify,
+)
+from repro.isa.neon import neon_vfmla_4xf32_4xf32, neon_vld_4xf32
+
+
+class TestInlineCall:
+    def test_inline_restores_loop_semantics(self):
+        @proc
+        def loads(x: f32[8] @ DRAM):
+            buf: f32[8] @ Neon
+            for i in seq(0, 4):
+                buf[i] = x[i]
+
+        lowered = replace(loads, "for i in _: _", neon_vld_4xf32)
+        restored = inline_call(lowered, "neon_vld_4xf32(_)")
+        assert "neon_vld_4xf32" not in str(restored)
+        assert_equivalent(loads, restored, sizes={})
+
+    def test_replace_inline_roundtrip(self, uk8x12):
+        """Inlining a lane FMA and replacing it again reproduces the call."""
+        p = uk8x12.proc
+        inlined = inline_call(p, "neon_vfmla_4xf32_4xf32(_)")
+        assert str(inlined).count("neon_vfmla") == 0
+        relowered = replace(inlined, "for i in _: _", neon_vfmla_4xf32_4xf32)
+        assert str(relowered).count("neon_vfmla") == 1
+        rng = np.random.default_rng(0)
+        kc = 4
+        ac = rng.random((kc, 8), dtype=np.float32)
+        bc = rng.random((kc, 12), dtype=np.float32)
+        c1 = rng.random((12, 8), dtype=np.float32)
+        c2 = c1.copy()
+        p.interpret(kc, ac, bc, c1)
+        relowered.interpret(kc, ac, bc, c2)
+        np.testing.assert_allclose(c1, c2, rtol=1e-6)
+
+    def test_inline_full_kernel_still_correct(self, uk8x12):
+        """Inline every instruction of the finished kernel; semantics hold."""
+        p = uk8x12.proc
+        for name in (
+            "neon_vld_4xf32(_)",
+            "neon_vfmla_4xf32_4xf32(_)",
+            "neon_vst_4xf32(_)",
+        ):
+            while True:
+                try:
+                    p = inline_call(p, name)
+                except Exception:
+                    break
+        assert "neon_" not in str(p)
+        assert_equivalent(uk8x12.proc, p, sizes={"KC": 3}, atol=1e-4)
+
+    def test_non_call_rejected(self, uk8x12):
+        with pytest.raises(SchedulingError, match="call"):
+            inline_call(uk8x12.proc, "for k in _: _")
+
+
+class TestFuseLoops:
+    def test_fuse_identical_ranges(self):
+        @proc
+        def two(x: f32[4] @ DRAM, y: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                x[i] = 1.0
+            for j in seq(0, 4):
+                y[j] = 2.0
+
+        fused = fuse_loops(two, "i")
+        loops = [s for s in fused.ir.body if isinstance(s, For)]
+        assert len(loops) == 1
+        assert_equivalent(two, fused, sizes={})
+
+    def test_fuse_producer_consumer(self):
+        @proc
+        def pc(N: size, a: f32[N] @ DRAM, b: f32[N] @ DRAM):
+            for i in seq(0, N):
+                a[i] = 2.0 * b[i]
+            for j in seq(0, N):
+                b[j] = a[j] + 1.0
+
+        fused = fuse_loops(pc, "i")
+        assert_equivalent(pc, fused, sizes={"N": 6})
+
+    def test_fuse_different_bounds_rejected(self):
+        @proc
+        def uneven(x: f32[8] @ DRAM):
+            for i in seq(0, 4):
+                x[i] = 1.0
+            for j in seq(0, 8):
+                x[j] = 2.0
+
+        with pytest.raises(SchedulingError, match="bounds"):
+            fuse_loops(uneven, "i")
+
+    def test_fuse_order_visible_rejected(self):
+        @proc
+        def bad(N: size, x: f32[4] @ DRAM, y: f32[N] @ DRAM):
+            for i in seq(0, N):
+                x[0] = 1.0 * i
+            for j in seq(0, N):
+                y[j] = x[0]
+
+        with pytest.raises(SchedulingError, match="behaviour"):
+            fuse_loops(bad, "i")
+
+    def test_fuse_without_neighbour_rejected(self):
+        @proc
+        def single(x: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                x[i] = 1.0
+
+        with pytest.raises(SchedulingError, match="adjacent"):
+            fuse_loops(single, "i")
+
+
+class TestCutLoop:
+    def test_cut_structure(self):
+        @proc
+        def fill(x: f32[10] @ DRAM):
+            for i in seq(0, 10):
+                x[i] = 1.0
+
+        p = cut_loop(fill, "i", 6)
+        loops = [s for s in p.ir.body if isinstance(s, For)]
+        assert len(loops) == 2
+        assert "seq(0, 6)" in str(p) and "seq(6, 10)" in str(p)
+        assert_equivalent(fill, p, sizes={})
+
+    def test_cut_then_simplify_semantics(self):
+        @proc
+        def scale(x: f32[7] @ DRAM):
+            for i in seq(0, 7):
+                x[i] = x[i] * 3.0
+
+        p = simplify(cut_loop(scale, "i", 4))
+        assert_equivalent(scale, p, sizes={})
+
+    def test_cut_outside_range_rejected(self):
+        @proc
+        def fill(x: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                x[i] = 1.0
+
+        with pytest.raises(SchedulingError, match="outside"):
+            cut_loop(fill, "i", 4)
+        with pytest.raises(SchedulingError, match="outside"):
+            cut_loop(fill, "i", 0)
+
+    def test_cut_symbolic_rejected(self):
+        @proc
+        def fill(N: size, x: f32[N] @ DRAM):
+            for i in seq(0, N):
+                x[i] = 1.0
+
+        with pytest.raises(SchedulingError, match="static"):
+            cut_loop(fill, "i", 2)

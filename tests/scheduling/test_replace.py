@@ -1,0 +1,197 @@
+"""Tests for replace(): the unification-checked intrinsic substitution.
+
+This is the paper's safety story (Section II-B): the "security definition"
+must reject any substitution that would change behaviour, and accept the
+legitimate ones with correctly derived windows and lane selectors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent))
+
+from helpers import assert_equivalent
+
+from repro.core import DRAM, Neon, SchedulingError, proc
+from repro.core.loopir import Call, WindowExpr
+from repro.core.scheduling import replace
+from repro.isa.neon import (
+    neon_vdup_4xf32,
+    neon_vfmadd_4xf32_4xf32,
+    neon_vfmla_4xf32_4xf32,
+    neon_vld_4xf32,
+    neon_vst_4xf32,
+)
+
+
+@proc
+def plain_copy(dst: f32[4] @ Neon, src: f32[4] @ DRAM):
+    for i in seq(0, 4):
+        dst[i] = src[i]
+
+
+class TestAccepts:
+    def test_simple_load(self):
+        p = replace(plain_copy, "for i in _: _", neon_vld_4xf32)
+        call = p.ir.body[0]
+        assert isinstance(call, Call)
+        assert call.proc.name == "neon_vld_4xf32"
+        assert_equivalent(plain_copy, p, sizes={})
+
+    def test_windowed_load_with_offsets(self):
+        @proc
+        def tile_load(x: f32[2, 8] @ DRAM):
+            buf: f32[2, 2, 4] @ Neon
+            for r in seq(0, 2):
+                for t in seq(0, 2):
+                    for i in seq(0, 4):
+                        buf[r, t, i] = x[r, 4 * t + i]
+
+        p = replace(tile_load, "for i in _: _", neon_vld_4xf32)
+        call = p.find("neon_vld_4xf32(_)").stmt()
+        src = call.args[1]
+        assert isinstance(src, WindowExpr)
+        assert_equivalent(tile_load, p, sizes={})
+
+    def test_lane_fma_derives_lane_selector(self):
+        @proc
+        def lane(C: f32[4, 4] @ Neon, A: f32[4] @ Neon, B: f32[4] @ Neon):
+            for j in seq(0, 4):
+                for i in seq(0, 4):
+                    C[j, i] += A[i] * B[j]
+
+        p = replace(lane, "for i in _: _", neon_vfmla_4xf32_4xf32)
+        call = p.find("neon_vfmla_4xf32_4xf32(_)").stmt()
+        # lane argument must be the j iterator
+        from repro.core.loopir import Read
+
+        assert isinstance(call.args[3], Read)
+        assert call.args[3].name.name == "j"
+        assert_equivalent(lane, p, sizes={})
+
+    def test_broadcast_constant_index(self):
+        @proc
+        def bcast(dst: f32[4] @ Neon, src: f32[8] @ DRAM):
+            for i in seq(0, 4):
+                dst[i] = src[3]
+
+        p = replace(bcast, "for i in _: _", neon_vdup_4xf32)
+        assert_equivalent(bcast, p, sizes={})
+
+    def test_plain_fma(self):
+        @proc
+        def vfma(acc: f32[4] @ Neon, a: f32[4] @ Neon, b: f32[4] @ Neon):
+            for i in seq(0, 4):
+                acc[i] += a[i] * b[i]
+
+        p = replace(vfma, "for i in _: _", neon_vfmadd_4xf32_4xf32)
+        assert_equivalent(vfma, p, sizes={})
+
+    def test_tries_candidates_until_one_unifies(self):
+        @proc
+        def load_then_store(x: f32[4] @ DRAM, y: f32[4] @ DRAM):
+            buf: f32[4] @ Neon
+            for i in seq(0, 4):
+                buf[i] = x[i]
+            for i in seq(0, 4):
+                y[i] = buf[i]
+
+        # the store pattern does not unify with the first (load) loop; the
+        # second candidate must be found automatically
+        p = replace(load_then_store, "for i in _: _", neon_vst_4xf32)
+        assert p.find("neon_vst_4xf32(_)").stmt()
+        p = replace(p, "for i in _: _", neon_vld_4xf32)
+        assert_equivalent(load_then_store, p, sizes={})
+
+
+class TestRejects:
+    def test_wrong_operation_rejected(self):
+        @proc
+        def subtracts(dst: f32[4] @ Neon, src: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                dst[i] = src[i] * 2.0
+
+        with pytest.raises(SchedulingError, match="no candidate"):
+            replace(subtracts, "for i in _: _", neon_vld_4xf32)
+
+    def test_wrong_trip_count_rejected(self):
+        @proc
+        def five(dst: f32[5] @ Neon, src: f32[5] @ DRAM):
+            for i in seq(0, 5):
+                dst[i] = src[i]
+
+        with pytest.raises(SchedulingError, match="no candidate"):
+            replace(five, "for i in _: _", neon_vld_4xf32)
+
+    def test_reduce_vs_assign_rejected(self):
+        @proc
+        def accumulates(dst: f32[4] @ Neon, src: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                dst[i] += src[i]
+
+        with pytest.raises(SchedulingError, match="no candidate"):
+            replace(accumulates, "for i in _: _", neon_vld_4xf32)
+
+    def test_strided_source_rejected(self):
+        @proc
+        def strided(dst: f32[4] @ Neon, src: f32[4, 4] @ DRAM):
+            for i in seq(0, 4):
+                dst[i] = src[i, 0]
+
+        with pytest.raises(SchedulingError, match="stride"):
+            replace(strided, "for i in _: _", neon_vld_4xf32)
+
+    def test_register_file_mismatch_rejected(self):
+        from repro.core import AVX512
+
+        @proc
+        def wrong_reg(dst: f32[4] @ AVX512, src: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                dst[i] = src[i]
+
+        with pytest.raises(SchedulingError, match="register file"):
+            replace(wrong_reg, "for i in _: _", neon_vld_4xf32)
+
+    def test_dtype_mismatch_rejected(self):
+        @proc
+        def doubles(dst: f64[4] @ Neon, src: f64[4] @ DRAM):
+            for i in seq(0, 4):
+                dst[i] = src[i]
+
+        with pytest.raises(SchedulingError, match="type"):
+            replace(doubles, "for i in _: _", neon_vld_4xf32)
+
+    def test_unprovable_lane_bound_rejected(self):
+        @proc
+        def lane_oob(C: f32[8, 4] @ Neon, A: f32[4] @ Neon, B: f32[8] @ Neon):
+            for j in seq(0, 8):
+                for i in seq(0, 4):
+                    C[j, i] += A[i] * B[j]
+
+        # j ranges over [0, 8) but vfmaq_laneq_f32 requires l < 4
+        with pytest.raises(SchedulingError, match="no candidate"):
+            replace(lane_oob, "for i in _: _", neon_vfmla_4xf32_4xf32)
+
+    def test_captured_iterator_rejected(self):
+        @proc
+        def captures(dst: f32[4, 4] @ Neon, src: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                dst[i, i] = src[i]
+
+        # dst would need a window indexed by the eliminated iterator
+        with pytest.raises(SchedulingError, match="no candidate"):
+            replace(captures, "for i in _: _", neon_vld_4xf32)
+
+    def test_non_unit_coefficient_rejected(self):
+        @proc
+        def gapped(dst: f32[8] @ Neon, src: f32[4] @ DRAM):
+            for i in seq(0, 4):
+                dst[2 * i] = src[i]
+
+        with pytest.raises(SchedulingError, match="no candidate"):
+            replace(gapped, "for i in _: _", neon_vld_4xf32)

@@ -1,0 +1,121 @@
+"""Tests for the C and pseudo-assembly backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DRAM, Neon, proc
+from repro.core.prelude import CodegenError
+from repro.ukernel.generator import generate_microkernel
+
+
+class TestCCode:
+    @pytest.fixture(scope="class")
+    def c_code(self, registry):
+        return registry.get(8, 12).proc.c_code()
+
+    def test_signature(self, c_code):
+        assert "void uk_8x12_f32_packed(" in c_code
+        assert "int_fast32_t KC" in c_code
+        assert "float* restrict C" in c_code
+
+    def test_const_qualifier_on_read_only_operands(self, c_code):
+        assert "const float* restrict Ac" in c_code
+        assert "const float* restrict Bc" in c_code
+
+    def test_vector_register_declarations(self, c_code):
+        assert "float32x4_t C_reg[12][2];" in c_code
+        assert "float32x4_t A_reg[2];" in c_code
+        assert "float32x4_t B_reg[3];" in c_code
+
+    def test_intrinsics_spliced(self, c_code):
+        assert "vld1q_f32(&Ac[" in c_code
+        assert "vfmaq_laneq_f32(" in c_code
+        assert "vst1q_f32(&C[" in c_code
+
+    def test_flat_row_major_indexing(self, c_code):
+        # C is 12x8: row index scaled by 8
+        assert "* 8 +" in c_code
+
+    def test_loop_syntax(self, c_code):
+        assert "for (int_fast32_t k = 0; k < KC; k++)" in c_code
+
+    def test_fp16_types(self):
+        from repro.isa.neon_fp16 import NEON_F16_LIB
+
+        kernel = generate_microkernel(8, 16, NEON_F16_LIB)
+        code = kernel.proc.c_code()
+        assert "float16x8_t" in code
+        assert "vfmaq_laneq_f16" in code
+
+    def test_avx512_types(self):
+        from repro.isa.avx512 import AVX512_F32_LIB
+
+        kernel = generate_microkernel(16, 8, AVX512_F32_LIB)
+        code = kernel.proc.c_code()
+        assert "__m512" in code
+        assert "_mm512_fmadd_ps" in code
+
+    def test_scalar_statements_emit(self):
+        @proc
+        def plain(N: size, x: f32[N] @ DRAM):
+            for i in seq(0, N):
+                x[i] = x[i] * 2.0
+
+        code = plain.c_code()
+        assert "x[i] = x[i] * 2.0f;" in code
+
+    def test_non_lane_register_rejected(self):
+        @proc
+        def bad(x: f32[4] @ DRAM):
+            r: f32[3] @ Neon
+            for i in seq(0, 3):
+                r[i] = x[i]
+
+        with pytest.raises(CodegenError, match="lane"):
+            bad.c_code()
+
+
+class TestAsmFig12:
+    """The paper's Figure 12: the 8x12 k-loop compiles to 5 loads + 24 fmla."""
+
+    @pytest.fixture(scope="class")
+    def trace(self, registry):
+        return registry.get(8, 12).proc.asm_trace()
+
+    def test_fmla_count(self, trace):
+        assert trace.count("fmla") == 24
+
+    def test_load_pairing(self, trace):
+        # Figure 12: two ldp (4 quad loads) plus one ldr
+        assert trace.count("ldp") == 2
+        assert trace.count("ldr") == 1
+        assert trace.vector_loads() == 5
+
+    def test_loop_bookkeeping(self, trace):
+        assert trace.count("add") == 1
+        assert trace.count("cmp") == 1
+        assert trace.count("bne") == 1
+
+    def test_register_budget(self, trace):
+        # 24 accumulators + 5 operand registers = 29 <= 32 ARM registers
+        assert trace.reg_count == 29
+
+    def test_lane_selectors_in_listing(self, trace):
+        listing = trace.listing
+        for lane in range(4):
+            assert f".s[{lane}]" in listing
+
+    @pytest.mark.parametrize(
+        "mr,nr,fmla,loads",
+        [(8, 8, 16, 4), (8, 4, 8, 3), (4, 12, 12, 4), (4, 4, 4, 2)],
+    )
+    def test_other_shapes_scale(self, registry, mr, nr, fmla, loads):
+        trace = registry.get(mr, nr).proc.asm_trace()
+        assert trace.count("fmla") == fmla
+        assert trace.vector_loads() == loads
+
+    def test_row_kernel_uses_dup(self, registry):
+        trace = registry.get(1, 12).proc.asm_trace()
+        assert trace.count("dup") == 1
+        assert trace.count("fmla") == 3

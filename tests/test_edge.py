@@ -1,0 +1,95 @@
+"""Tests for edge-case decomposition and tile covering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ukernel.edge import (
+    decompose_extent,
+    monolithic_cover,
+    tile_cover,
+    useful_fraction,
+)
+from repro.ukernel.registry import DEFAULT_FAMILY
+
+
+class TestDecompose:
+    def test_exact_fit(self):
+        assert decompose_extent(24, [8, 4, 1]) == [8, 8, 8]
+
+    def test_mixed_chunks(self):
+        assert decompose_extent(49, [8, 4, 1]) == [8] * 6 + [1]
+
+    def test_ragged_pads_smallest(self):
+        # 7 = 4 + 2 leftover -> one 4, then padding chunk of 4... with sizes
+        # [8, 4]: 7 -> [4] + remainder 3 -> padded [4]
+        assert decompose_extent(7, [8, 4]) == [4, 4]
+
+    def test_single_size(self):
+        assert decompose_extent(10, [4]) == [4, 4, 4]
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            decompose_extent(0, [4])
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=50)
+    def test_cover_is_sufficient_and_tight(self, extent):
+        chunks = decompose_extent(extent, [8, 4, 1])
+        assert sum(chunks) >= extent
+        # with a size-1 chunk available the cover is exact
+        assert sum(chunks) == extent
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=50)
+    def test_cover_padding_bounded(self, extent):
+        chunks = decompose_extent(extent, [8, 4])
+        assert 0 <= sum(chunks) - extent < 4
+
+
+class TestTileCover:
+    def test_resnet_49x512(self):
+        cover = tile_cover(49, 512, DEFAULT_FAMILY)
+        # 49 -> 6x8 + 1x1 rows; 512 -> 42x12 + 1x8 columns
+        assert cover[(8, 12)] == 6 * 42
+        assert cover[(8, 8)] == 6
+        assert cover[(1, 12)] == 42
+        assert cover[(1, 8)] == 1
+        total = sum((mr * nr) * c for (mr, nr), c in cover.items())
+        assert total == 49 * 512
+
+    def test_exact_shape_single_class(self):
+        cover = tile_cover(16, 24, DEFAULT_FAMILY)
+        assert cover == {(8, 12): 4}
+
+    def test_missing_combination_raises(self):
+        # m=9 -> rows of 8 and 1; n=20 -> widths 12 and 8; the (8, 8)
+        # combination is absent from this family
+        with pytest.raises(KeyError, match="family"):
+            tile_cover(9, 20, [(8, 12), (1, 12), (1, 8)])
+
+    @given(st.integers(1, 300), st.integers(1, 300))
+    @settings(max_examples=40)
+    def test_cover_area_exact_up_to_width_padding(self, m, n):
+        cover = tile_cover(m, n, DEFAULT_FAMILY)
+        area = sum(mr * nr * c for (mr, nr), c in cover.items())
+        # rows decompose exactly (1-row tails exist); the width remainder
+        # is padded by at most one 4-wide column of tiles
+        assert m * n <= area < m * (n + 4)
+
+
+class TestMonolithic:
+    def test_cover_counts(self):
+        assert monolithic_cover(49, 512, 8, 12) == 7 * 43
+
+    def test_useful_fraction(self):
+        assert useful_fraction(8, 12, 8, 12) == 1.0
+        assert useful_fraction(4, 4, 8, 12) == pytest.approx(16 / 96)
+
+    @given(st.integers(1, 100), st.integers(1, 100))
+    @settings(max_examples=40)
+    def test_useful_fraction_bounds(self, m, n):
+        frac = useful_fraction(m, n, 8, 12)
+        assert 0 < frac <= 1.0

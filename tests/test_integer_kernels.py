@@ -1,0 +1,73 @@
+"""Tests for integer micro-kernels (the paper's motivation, item 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa.neon_int import (
+    NEON_I32_LIB,
+    neon_vdup_4xi32,
+    neon_vld_4xi32,
+    neon_vmla_lane_4xi32,
+)
+from repro.ukernel.generator import generate_microkernel
+
+
+def run_int_kernel(kernel, kc=7, seed=0):
+    rng = np.random.default_rng(seed)
+    ac = rng.integers(-50, 50, (kc, kernel.mr)).astype(np.int32)
+    bc = rng.integers(-50, 50, (kc, kernel.nr)).astype(np.int32)
+    c = rng.integers(-100, 100, (kernel.nr, kernel.mr)).astype(np.int32)
+    expected = c + (ac.T.astype(np.int64) @ bc.astype(np.int64)).T.astype(
+        np.int32
+    )
+    kernel.proc.interpret(kc, ac, bc, c)
+    np.testing.assert_array_equal(c, expected)  # integer math is exact
+
+
+class TestIntegerInstructions:
+    def test_load_store_roundtrip(self):
+        dst = np.zeros(4, dtype=np.int32)
+        src = np.array([1, -2, 3, -4], dtype=np.int32)
+        neon_vld_4xi32.interpret(dst, src)
+        np.testing.assert_array_equal(dst, src)
+
+    def test_lane_mla(self):
+        acc = np.ones(4, dtype=np.int32)
+        lhs = np.array([1, 2, 3, 4], dtype=np.int32)
+        rhs = np.array([10, 20, 30, 40], dtype=np.int32)
+        neon_vmla_lane_4xi32.interpret(acc, lhs, rhs, 3)
+        np.testing.assert_array_equal(acc, 1 + lhs * 40)
+
+    def test_broadcast(self):
+        dst = np.zeros(4, dtype=np.int32)
+        neon_vdup_4xi32.interpret(dst, np.array([9], dtype=np.int32))
+        np.testing.assert_array_equal(dst, 9)
+
+
+class TestIntegerGeneration:
+    @pytest.mark.parametrize("mr,nr", [(8, 12), (4, 4), (4, 8)])
+    def test_packed_i32_kernels_exact(self, mr, nr):
+        kernel = generate_microkernel(mr, nr, NEON_I32_LIB)
+        assert kernel.dtype == "i32"
+        assert "vmlaq_laneq_s32" in kernel.proc.c_code()
+        run_int_kernel(kernel)
+
+    def test_row_i32_kernel(self):
+        kernel = generate_microkernel(1, 8, NEON_I32_LIB)
+        assert kernel.variant == "row"
+        run_int_kernel(kernel)
+
+    def test_i32_kernel_trace_shape(self):
+        from repro.sim.pipeline import trace_from_kernel
+
+        kernel = generate_microkernel(8, 12, NEON_I32_LIB)
+        trace = trace_from_kernel(kernel)
+        counts = trace.counts()
+        assert counts["fma"] == 24 and counts["load"] == 5
+
+    def test_int_registers_in_c(self):
+        kernel = generate_microkernel(4, 4, NEON_I32_LIB)
+        code = kernel.proc.c_code()
+        assert "int32x4_t" in code

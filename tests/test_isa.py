@@ -1,0 +1,138 @@
+"""Tests for the instruction libraries: semantics and metadata."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.isa import CARMEL, GENERIC_ARM, MachineModel
+from repro.isa.avx512 import AVX512_F32_LIB, mm512_fmadd_ps, mm512_loadu_ps
+from repro.isa.machine import AVX512_SERVER
+from repro.isa.neon import (
+    NEON_F32_LIB,
+    neon_vadd_4xf32,
+    neon_vdup_4xf32,
+    neon_vfmadd_4xf32_4xf32,
+    neon_vfmla_4xf32_4xf32,
+    neon_vld_4xf32,
+    neon_vmul_4xf32,
+    neon_vst_4xf32,
+    neon_vzero_4xf32,
+)
+from repro.isa.neon_fp16 import NEON_F16_LIB, neon_vfmla_8xf16_8xf16
+
+
+class TestNeonSemantics:
+    def test_load_copies(self):
+        dst = np.zeros(4, dtype=np.float32)
+        src = np.arange(4, dtype=np.float32)
+        neon_vld_4xf32.interpret(dst, src)
+        np.testing.assert_array_equal(dst, src)
+
+    def test_store_copies(self):
+        dst = np.zeros(4, dtype=np.float32)
+        src = np.arange(4, dtype=np.float32)
+        neon_vst_4xf32.interpret(dst, src)
+        np.testing.assert_array_equal(dst, src)
+
+    def test_fmla_lane(self):
+        dst = np.ones(4, dtype=np.float32)
+        lhs = np.arange(4, dtype=np.float32)
+        rhs = np.array([2, 3, 4, 5], dtype=np.float32)
+        neon_vfmla_4xf32_4xf32.interpret(dst, lhs, rhs, 1)
+        np.testing.assert_allclose(dst, 1 + lhs * 3)
+
+    def test_fmla_lane_bounds_checked(self):
+        from repro.core import InterpError
+
+        dst = np.ones(4, dtype=np.float32)
+        with pytest.raises(InterpError, match="precondition"):
+            neon_vfmla_4xf32_4xf32.interpret(dst, dst.copy(), dst.copy(), 7)
+
+    def test_vfmadd(self):
+        dst = np.zeros(4, dtype=np.float32)
+        a = np.arange(4, dtype=np.float32)
+        b = np.full(4, 2.0, dtype=np.float32)
+        neon_vfmadd_4xf32_4xf32.interpret(dst, a, b)
+        np.testing.assert_allclose(dst, a * 2)
+
+    def test_broadcast(self):
+        dst = np.zeros(4, dtype=np.float32)
+        src = np.array([7.0], dtype=np.float32)
+        neon_vdup_4xf32.interpret(dst, src)
+        np.testing.assert_array_equal(dst, 7.0)
+
+    def test_zero(self):
+        dst = np.ones(4, dtype=np.float32)
+        neon_vzero_4xf32.interpret(dst)
+        np.testing.assert_array_equal(dst, 0.0)
+
+    def test_mul_add(self):
+        a = np.arange(4, dtype=np.float32)
+        b = np.full(4, 3.0, dtype=np.float32)
+        out = np.zeros(4, dtype=np.float32)
+        neon_vmul_4xf32.interpret(out, a, b)
+        np.testing.assert_allclose(out, a * 3)
+        neon_vadd_4xf32.interpret(out, out.copy(), a)
+        np.testing.assert_allclose(out, a * 4)
+
+
+class TestF16AndAvx:
+    def test_fp16_fmla(self):
+        dst = np.zeros(8, dtype=np.float16)
+        lhs = np.arange(8, dtype=np.float16)
+        rhs = np.arange(8, dtype=np.float16)
+        neon_vfmla_8xf16_8xf16.interpret(dst, lhs, rhs, 2)
+        np.testing.assert_allclose(dst.astype(np.float64), lhs.astype(np.float64) * 2)
+
+    def test_avx512_load_and_fma(self):
+        dst = np.zeros(16, dtype=np.float32)
+        src = np.arange(16, dtype=np.float32)
+        mm512_loadu_ps.interpret(dst, src)
+        np.testing.assert_array_equal(dst, src)
+        acc = np.ones(16, dtype=np.float32)
+        mm512_fmadd_ps.interpret(acc, src, src)
+        np.testing.assert_allclose(acc, 1 + src * src)
+
+
+class TestLibraries:
+    @pytest.mark.parametrize("lib", [NEON_F32_LIB, NEON_F16_LIB, AVX512_F32_LIB])
+    def test_library_slots(self, lib):
+        for slot in ("load", "store", "fma", "broadcast", "zero"):
+            assert slot in lib
+        assert lib["lanes"] in (4, 8, 16)
+
+    def test_instr_metadata(self):
+        info = neon_vfmla_4xf32_4xf32.ir.instr
+        assert info.pipe == "fma"
+        assert info.latency == 4
+        assert "vfmaq_laneq_f32" in info.c_instr
+
+    def test_load_metadata(self):
+        info = neon_vld_4xf32.ir.instr
+        assert info.pipe == "load"
+
+
+class TestMachineModels:
+    def test_carmel_peak(self):
+        # 2 FMA pipes x 4 lanes x 2 flops x 2.3 GHz
+        assert CARMEL.peak_gflops() == pytest.approx(36.8)
+
+    def test_carmel_fp16_peak_doubles(self):
+        assert CARMEL.peak_gflops(16) == pytest.approx(73.6)
+
+    def test_pipe_counts(self):
+        assert CARMEL.pipe_count("fma") == 2
+        assert CARMEL.pipe_count("store") == 1
+        assert CARMEL.pipe_count("unknown") == 1
+
+    def test_cache_lookup(self):
+        assert CARMEL.cache("L1").size_bytes == 64 * 1024
+        with pytest.raises(KeyError):
+            CARMEL.cache("L4")
+
+    def test_generic_arm_is_smaller(self):
+        assert GENERIC_ARM.peak_gflops() < CARMEL.peak_gflops()
+
+    def test_avx512_server_wide_vectors(self):
+        assert AVX512_SERVER.vector_lanes() == 16

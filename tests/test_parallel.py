@@ -1,0 +1,62 @@
+"""Tests for the multi-core scaling model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.memory import GemmShape, TileParams
+from repro.sim.parallel import parallel_gemm_time, scaling_curve
+from repro.sim.pipeline import trace_from_kernel
+from repro.sim.timing import ChunkPlan
+
+TILES = TileParams(mc=896, kc=512, nc=1788, mr=8, nr=12)
+
+
+@pytest.fixture(scope="module")
+def plan(registry):
+    trace = trace_from_kernel(registry.get(8, 12))
+    return [ChunkPlan(trace=trace, mr=8, nr=12, count=250 * 167)]
+
+
+class TestScaling:
+    def test_one_thread_matches_single_core_model(self, plan):
+        from repro.sim.timing import gemm_time_model
+
+        shape = GemmShape(2000, 2000, 2000)
+        single = gemm_time_model(shape, plan, TILES)
+        par = parallel_gemm_time(shape, plan, TILES, threads=1)
+        assert par.total_cycles == pytest.approx(single.total_cycles)
+
+    def test_two_threads_near_double(self, plan):
+        shape = GemmShape(2000, 2000, 2000)
+        one = parallel_gemm_time(shape, plan, TILES, threads=1)
+        two = parallel_gemm_time(shape, plan, TILES, threads=2)
+        speedup = one.total_cycles / two.total_cycles
+        assert 1.7 < speedup <= 2.0
+
+    def test_scaling_saturates_at_bandwidth(self, plan):
+        """With enough cores a low-intensity GEMM hits the DRAM ceiling.
+
+        k = 64 gives ~11 flops per DRAM byte: the stream caps the rate well
+        before 32 threads, while the square 2000^3 problem (68x higher
+        intensity) keeps scaling.
+        """
+        shape = GemmShape(2000, 2000, 64)
+        curve = scaling_curve(shape, plan, TILES, max_threads=32)
+        rates = [b.gflops for b in curve]
+        assert rates == sorted(rates)  # monotone
+        assert rates[-1] / rates[15] < 1.05  # the last doubling gains ~nothing
+        cap = curve[-1]
+        assert cap.total_cycles == pytest.approx(cap.dram_limit_cycles)
+
+    def test_gflops_monotone_in_threads(self, plan):
+        shape = GemmShape(1000, 1000, 1000)
+        curve = scaling_curve(shape, plan, TILES, max_threads=8)
+        rates = [b.gflops for b in curve]
+        assert all(b2 >= b1 for b1, b2 in zip(rates, rates[1:]))
+
+    def test_invalid_threads_rejected(self, plan):
+        with pytest.raises(ValueError):
+            parallel_gemm_time(
+                GemmShape(100, 100, 100), plan, TILES, threads=0
+            )

@@ -1,0 +1,120 @@
+"""Property-based tests for the replace unifier and the pipeline model."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import assert_equivalent
+
+from repro.core import SchedulingError
+from repro.core.parser import parse_source
+from repro.core.proc import Procedure
+from repro.core.scheduling import replace
+from repro.isa.neon import neon_vld_4xf32
+
+
+def _tile_load_proc(rows: int, tiles: int, row_off: int, col_off: int):
+    """A load nest with random offsets, built from source text."""
+    width = col_off + 4 * tiles + 4
+    height = row_off + rows
+    src = f"""
+def tload(x: f32[{height}, {width}] @ DRAM):
+    buf: f32[{rows}, {tiles}, 4] @ Neon
+    for r in seq(0, {rows}):
+        for t in seq(0, {tiles}):
+            for i in seq(0, 4):
+                buf[r, t, i] = x[r + {row_off}, 4 * t + i + {col_off}]
+"""
+    return Procedure(parse_source(src))
+
+
+class TestReplaceFuzz:
+    @given(
+        st.integers(1, 3),
+        st.integers(1, 3),
+        st.integers(0, 5),
+        st.integers(0, 7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_windowed_loads_unify_at_any_offset(
+        self, rows, tiles, row_off, col_off
+    ):
+        """Whatever the affine offsets, the derived window must reproduce
+        the original loop's semantics exactly."""
+        p = _tile_load_proc(rows, tiles, row_off, col_off)
+        lowered = replace(p, "for i in _: _", neon_vld_4xf32)
+        assert "neon_vld_4xf32" in str(lowered)
+        assert_equivalent(p, lowered, sizes={})
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_wrong_width_never_unifies(self, width):
+        if width == 4:
+            width = 5
+        src = f"""
+def bad(x: f32[{width}] @ DRAM):
+    buf: f32[{width}] @ Neon
+    for i in seq(0, {width}):
+        buf[i] = x[i]
+"""
+        p = Procedure(parse_source(src))
+        with pytest.raises(SchedulingError):
+            replace(p, "for i in _: _", neon_vld_4xf32)
+
+
+class TestPipelineProperties:
+    @given(
+        st.integers(1, 6),   # independent accumulator chains
+        st.integers(1, 12),  # fma ops per chain per iteration
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_respect_both_bounds(self, chains, per_chain):
+        """Steady-state cycles/iter >= max(resource bound, chain bound)."""
+        from repro.isa.machine import CARMEL
+        from repro.sim.pipeline import KernelTrace, PipelineModel, TraceOp
+
+        ops = []
+        for c in range(chains):
+            dest = ("acc", c)
+            for _ in range(per_chain):
+                ops.append(
+                    TraceOp("fma", 4, dest, (dest,), accumulate=True)
+                )
+        trace = KernelTrace(
+            ops=ops, flops_per_iter=8 * len(ops),
+            prologue_vector_ops=0, epilogue_vector_ops=0,
+        )
+        pm = PipelineModel(machine=CARMEL)
+        cycles = pm.steady_cycles_per_iter(trace)
+        resource_bound = len(ops) / 2  # two FMA pipes / vector slots
+        chain_bound = per_chain * 4    # latency-4 chain per iteration
+        expected = max(resource_bound, chain_bound)
+        assert cycles >= expected - 0.2
+        # and the scheduler should get close to the tight bound
+        assert cycles <= expected * 1.5 + 1
+
+    @given(st.integers(0, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_pure_loads_throughput_bound(self, extra):
+        from repro.isa.machine import CARMEL
+        from repro.sim.pipeline import KernelTrace, PipelineModel, TraceOp
+
+        n_loads = 2 + extra
+        ops = [
+            TraceOp("load", 5, ("v", i), ()) for i in range(n_loads)
+        ]
+        trace = KernelTrace(
+            ops=ops, flops_per_iter=1,
+            prologue_vector_ops=0, epilogue_vector_ops=0,
+        )
+        pm = PipelineModel(machine=CARMEL)
+        cycles = pm.steady_cycles_per_iter(trace)
+        assert cycles == pytest.approx(n_loads / 2, abs=0.6)

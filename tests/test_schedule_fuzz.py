@@ -1,0 +1,102 @@
+"""Property-based schedule fuzzing.
+
+The strongest invariant in the system: *no sequence of scheduling
+primitives may change a procedure's semantics*.  Hypothesis drives random
+transform sequences against the reference micro-kernel; whatever subset of
+transforms applies cleanly, the result must compute the same GEMM.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import assert_equivalent
+
+from repro.core import Procedure, SchedulingError
+from repro.core.prelude import PatternError, ReproError
+from repro.core.scheduling import (
+    divide_loop,
+    reorder_loops,
+    simplify,
+    unroll_loop,
+)
+from repro.ukernel.generator import make_reference_kernel
+
+
+def _specialized(mr=8, nr=12) -> Procedure:
+    return make_reference_kernel().partial_eval(mr, nr)
+
+
+# a palette of transform attempts; each either applies or raises cleanly
+TRANSFORMS = [
+    ("divide_i", lambda p: divide_loop(p, "i", 4, ["it", "itt"], perfect=True)),
+    ("divide_j", lambda p: divide_loop(p, "j", 4, ["jt", "jtt"], perfect=True)),
+    ("divide_i2", lambda p: divide_loop(p, "i", 2, ["ih", "il"], perfect=True)),
+    ("divide_j3", lambda p: divide_loop(p, "j", 3, ["jh", "jl"], perfect=True)),
+    ("reorder_ji", lambda p: reorder_loops(p, "j i")),
+    ("reorder_ij", lambda p: reorder_loops(p, "i j")),
+    ("reorder_kj", lambda p: reorder_loops(p, "k j")),
+    ("unroll_i", lambda p: unroll_loop(p, "i")),
+    ("unroll_it", lambda p: unroll_loop(p, "it")),
+    ("unroll_jt", lambda p: unroll_loop(p, "jt")),
+    ("simplify", simplify),
+    ("tail_i", lambda p: divide_loop(p, "i", 3, ["ia", "ib"])),
+    ("tail_j", lambda p: divide_loop(p, "j", 5, ["ja", "jb"])),
+]
+
+
+@given(
+    st.lists(st.integers(0, len(TRANSFORMS) - 1), min_size=1, max_size=6),
+    st.integers(0, 1000),
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_schedules_preserve_semantics(choices, seed):
+    reference = _specialized()
+    p = reference
+    applied = []
+    for idx in choices:
+        name, fn = TRANSFORMS[idx]
+        try:
+            p = fn(p)
+            applied.append(name)
+        except ReproError:
+            continue  # transform not applicable at this point — fine
+    assert_equivalent(reference, p, sizes={"KC": 3}, seed=seed, atol=1e-4)
+
+
+@given(st.sampled_from([(4, 4), (8, 4), (4, 8), (8, 8)]))
+@settings(max_examples=8, deadline=None)
+def test_divide_then_unroll_any_shape(shape):
+    mr, nr = shape
+    reference = _specialized(mr, nr)
+    p = divide_loop(reference, "i", 4, ["it", "itt"], perfect=True)
+    p = unroll_loop(p, "itt")
+    p = simplify(p)
+    assert_equivalent(reference, p, sizes={"KC": 4})
+
+
+@given(st.integers(2, 6), st.integers(1, 24))
+@settings(max_examples=30, deadline=None)
+def test_tail_division_arbitrary_quotients(quotient, extent):
+    from repro.core import DRAM, proc
+
+    @proc
+    def fill(N: size, x: f32[N] @ DRAM):
+        for i in seq(0, N):
+            x[i] = x[i] * 2.0 + 1.0
+
+    p = fill.partial_eval(extent)
+    p2 = divide_loop(p, "i", quotient, ["a", "b"])
+    assert_equivalent(p, p2, sizes={})

@@ -1,0 +1,184 @@
+"""Tests for the performance simulation substrate.
+
+These check the *mechanisms* the reproduction relies on: FMA-latency hiding
+by accumulator count, vector-slot contention, cache behaviour of packed vs
+strided access, and the composition rules of the timing model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.machine import CARMEL, GENERIC_ARM
+from repro.sim.cache import Cache, CacheHierarchy, hierarchy_for
+from repro.sim.memory import GemmShape, TileParams, memory_cost
+from repro.sim.pipeline import PipelineModel, TraceOp, trace_from_kernel
+from repro.sim.timing import (
+    ChunkPlan,
+    TimingModel,
+    gemm_time_model,
+    solo_kernel_gflops,
+)
+
+
+@pytest.fixture(scope="module")
+def pm():
+    return PipelineModel()
+
+
+class TestPipelineMechanisms:
+    def test_8x12_near_but_below_peak(self, registry, pm):
+        trace = trace_from_kernel(registry.get(8, 12))
+        cyc = pm.steady_cycles_per_iter(trace)
+        flops_per_cycle = trace.flops_per_iter / cyc
+        peak = CARMEL.peak_gflops() / CARMEL.freq_ghz  # 16 flops/cycle
+        assert 0.75 * peak < flops_per_cycle < peak
+
+    def test_vector_slot_contention(self, registry, pm):
+        """24 FMAs + 5 loads through 2 vector slots: 14.5 cycles/iter."""
+        trace = trace_from_kernel(registry.get(8, 12))
+        assert pm.steady_cycles_per_iter(trace) == pytest.approx(14.5, abs=0.1)
+
+    def test_small_tile_latency_bound(self, registry, pm):
+        """4x4 has 4 accumulator chains of latency-4 FMAs: 4 cycles/iter,
+        not the 3 cycles resources alone would allow."""
+        trace = trace_from_kernel(registry.get(4, 4))
+        assert pm.steady_cycles_per_iter(trace) == pytest.approx(4.0, abs=0.1)
+
+    def test_throughput_monotone_in_tile_size(self, registry, pm):
+        rates = []
+        for shape in [(4, 4), (8, 4), (8, 8), (8, 12)]:
+            trace = trace_from_kernel(registry.get(*shape))
+            cyc = pm.steady_cycles_per_iter(trace)
+            rates.append(trace.flops_per_iter / cyc)
+        assert rates == sorted(rates)
+
+    def test_extra_alu_ops_do_not_disturb_vector_bound(self, registry, pm):
+        base = trace_from_kernel(registry.get(8, 12))
+        loaded = trace_from_kernel(registry.get(8, 12), extra_alu_per_iter=4)
+        assert pm.steady_cycles_per_iter(loaded) == pytest.approx(
+            pm.steady_cycles_per_iter(base), abs=0.2
+        )
+
+    def test_narrow_machine_is_slower(self, registry):
+        trace = trace_from_kernel(registry.get(8, 12))
+        fast = PipelineModel(machine=CARMEL).steady_cycles_per_iter(trace)
+        slow = PipelineModel(machine=GENERIC_ARM).steady_cycles_per_iter(trace)
+        assert slow > 1.5 * fast
+
+    def test_trace_counts(self, registry):
+        trace = trace_from_kernel(registry.get(8, 12))
+        counts = trace.counts()
+        assert counts["fma"] == 24
+        assert counts["load"] == 5
+        assert trace.prologue_vector_ops == 24
+        assert trace.epilogue_vector_ops == 24
+
+
+class TestSoloTiming:
+    def test_kc_amortizes_tile_transfers(self, registry):
+        trace = trace_from_kernel(registry.get(8, 12))
+        short = solo_kernel_gflops(trace, 8, 12, kc=32)
+        long = solo_kernel_gflops(trace, 8, 12, kc=512)
+        assert long > short
+
+    def test_useful_fraction_scales_gflops(self, registry):
+        trace = trace_from_kernel(registry.get(8, 12))
+        full = solo_kernel_gflops(trace, 8, 12, kc=512)
+        quarter = solo_kernel_gflops(
+            trace, 8, 12, kc=512, useful_mr=4, useful_nr=6
+        )
+        assert quarter == pytest.approx(full / 4, rel=1e-6)
+
+
+class TestCacheSimulator:
+    def test_lru_eviction(self):
+        cache = Cache(size_bytes=4 * 64, line_bytes=64, assoc=2)
+        # two sets; fill set 0 with lines 0 and 2, then touch 4 -> evict 0
+        cache.access(0)
+        cache.access(2 * 64)
+        cache.access(0)  # 0 now MRU
+        cache.access(4 * 64)  # evicts line 2
+        assert cache.access(0)
+        assert not cache.access(2 * 64)
+
+    def test_hit_rate_accounting(self):
+        cache = Cache(size_bytes=1024, line_bytes=64, assoc=4)
+        for _ in range(10):
+            cache.access(0)
+        assert cache.stats.hits == 9
+        assert cache.stats.accesses == 10
+
+    def test_sequential_within_line_hits(self):
+        cache = Cache(size_bytes=1024, line_bytes=64, assoc=4)
+        misses = cache.access_range(0, 256)
+        assert misses == 4  # one per line
+
+    def test_hierarchy_fills_down(self):
+        hier = hierarchy_for(CARMEL)
+        assert hier.access(0) == 3  # memory
+        assert hier.access(0) == 0  # L1 now
+
+    def test_packed_panel_beats_strided_walk(self):
+        """The point of packing: unit-stride panels reuse cache lines."""
+        packed = Cache(size_bytes=32 * 1024, line_bytes=64, assoc=4)
+        strided = Cache(size_bytes=32 * 1024, line_bytes=64, assoc=4)
+        ldb = 2048 * 4  # walking a column of a 2048-wide f32 matrix
+        for i in range(512):
+            packed.access(i * 4)
+            strided.access(i * ldb)
+        assert packed.stats.hit_rate > 0.9
+        assert strided.stats.hit_rate < 0.1
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, line_bytes=64, assoc=3)
+
+
+class TestMemoryModel:
+    TILES = TileParams(mc=896, kc=512, nc=1788, mr=8, nr=12)
+
+    def test_prefetch_removes_stall(self):
+        shape = GemmShape(1000, 1000, 1000)
+        no_pf = memory_cost(shape, self.TILES, prefetch_c=False)
+        pf = memory_cost(shape, self.TILES, prefetch_c=True)
+        assert no_pf.c_stall_cycles > 0
+        assert pf.c_stall_cycles == 0
+        assert pf.pack_a_cycles == no_pf.pack_a_cycles
+
+    def test_a_repacked_per_jc_iteration(self):
+        tiles = self.TILES
+        small = memory_cost(GemmShape(500, tiles.nc, 500), tiles)
+        big = memory_cost(GemmShape(500, 2 * tiles.nc, 500), tiles)
+        # n spanning two jc iterations repacks the whole A a second time
+        assert big.pack_a_cycles == pytest.approx(2 * small.pack_a_cycles)
+        assert big.pack_b_cycles == pytest.approx(2 * small.pack_b_cycles)
+
+    def test_c_traffic_scales_with_k_passes(self):
+        tiles = self.TILES
+        one_pass = memory_cost(GemmShape(1000, 1000, tiles.kc), tiles)
+        two_pass = memory_cost(GemmShape(1000, 1000, 2 * tiles.kc), tiles)
+        assert two_pass.c_stream_cycles == pytest.approx(
+            2 * one_pass.c_stream_cycles
+        )
+
+
+class TestGemmTimeModel:
+    def test_compute_dominates_large_square(self, registry):
+        trace = trace_from_kernel(registry.get(8, 12))
+        shape = GemmShape(2000, 2000, 2000)
+        tiles = TileParams(mc=896, kc=512, nc=1788, mr=8, nr=12)
+        plan = ChunkPlan(trace=trace, mr=8, nr=12, count=(2000 // 8) * (2000 // 12 + 1))
+        b = gemm_time_model(shape, [plan], tiles)
+        assert b.compute_cycles > b.pack_cycles
+        assert b.gflops < CARMEL.peak_gflops()
+
+    def test_gflops_and_seconds_consistent(self, registry):
+        trace = trace_from_kernel(registry.get(8, 12))
+        shape = GemmShape(1000, 996, 512)
+        tiles = TileParams(mc=896, kc=512, nc=1788, mr=8, nr=12)
+        plan = ChunkPlan(trace=trace, mr=8, nr=12, count=125 * 83)
+        b = gemm_time_model(shape, [plan], tiles)
+        assert b.gflops == pytest.approx(
+            shape.flops / b.seconds / 1e9, rel=1e-9
+        )

@@ -1,0 +1,144 @@
+"""Tests for the workload tables (Tables I and II) and the IM2ROW transform.
+
+Every row of both tables is cross-validated against the IM2ROW formula at
+module import (the tables are built through ``_layer``, which asserts the
+derivation); these tests additionally pin the exact published values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.conv import (
+    ConvSpec,
+    conv_reference,
+    im2row_gemm_dims,
+    im2row_matrix,
+)
+from repro.workloads.resnet50 import RESNET50_LAYERS, resnet50_instances
+from repro.workloads.square import SQUARE_SIZES, square_shapes
+from repro.workloads.vgg16 import VGG16_LAYERS, vgg16_instances
+
+# Table I exactly as published (layer id -> m, n, k)
+TABLE_I = {
+    1: (12544, 64, 147),
+    2: (3136, 64, 64),
+    3: (3136, 64, 576),
+    4: (3136, 256, 64),
+    5: (3136, 64, 256),
+    6: (3136, 128, 256),
+    7: (784, 128, 1152),
+    8: (784, 512, 128),
+    9: (784, 512, 256),
+    10: (784, 128, 512),
+    11: (784, 256, 512),
+    12: (196, 256, 2304),
+    13: (196, 1024, 256),
+    14: (196, 1024, 512),
+    15: (196, 256, 1024),
+    16: (196, 512, 1024),
+    17: (49, 512, 4608),
+    18: (49, 2048, 512),
+    19: (49, 2048, 1024),
+    20: (49, 512, 2048),
+}
+
+# Table II exactly as published
+TABLE_II = {
+    1: (50176, 64, 27),
+    2: (50176, 64, 576),
+    3: (12544, 128, 576),
+    4: (12544, 128, 1152),
+    5: (3136, 256, 1152),
+    6: (3136, 256, 2304),
+    7: (784, 256, 2304),
+    8: (784, 512, 4608),
+    9: (196, 512, 4608),
+}
+
+
+class TestTableI:
+    def test_twenty_unique_layers(self):
+        assert len(RESNET50_LAYERS) == 20
+
+    @pytest.mark.parametrize("layer_id", sorted(TABLE_I))
+    def test_row_matches_paper(self, layer_id):
+        layer = RESNET50_LAYERS[layer_id - 1]
+        assert layer.layer_id == layer_id
+        assert (layer.m, layer.n, layer.k) == TABLE_I[layer_id]
+
+    def test_53_total_instances(self):
+        assert len(resnet50_instances()) == 53
+
+    def test_instances_sorted_and_unique(self):
+        numbers = [n for n, _ in resnet50_instances()]
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == len(numbers)
+
+    def test_layer12_has_six_instances(self):
+        layer = RESNET50_LAYERS[11]
+        assert layer.instances == 6
+
+    def test_conv_specs_rederive_table(self):
+        for layer in RESNET50_LAYERS:
+            assert im2row_gemm_dims(layer.conv) == (layer.m, layer.n, layer.k)
+
+
+class TestTableII:
+    def test_nine_unique_layers(self):
+        assert len(VGG16_LAYERS) == 9
+
+    @pytest.mark.parametrize("layer_id", sorted(TABLE_II))
+    def test_row_matches_paper(self, layer_id):
+        layer = VGG16_LAYERS[layer_id - 1]
+        assert (layer.m, layer.n, layer.k) == TABLE_II[layer_id]
+
+    def test_13_total_instances(self):
+        assert len(vgg16_instances()) == 13
+
+
+class TestIm2Row:
+    def test_dims_formula(self):
+        spec = ConvSpec(8, 8, 3, 16, 3, 3, 1, 1)
+        assert im2row_gemm_dims(spec) == (64, 16, 27)
+
+    def test_strided_dims(self):
+        spec = ConvSpec(224, 224, 3, 64, 7, 7, 2, 3)
+        assert im2row_gemm_dims(spec) == (12544, 64, 147)
+
+    def test_batch_scales_m(self):
+        spec = ConvSpec(8, 8, 3, 16, 1, 1)
+        assert im2row_gemm_dims(spec, batch=4)[0] == 4 * 64
+
+    def test_conv_by_gemm_equals_direct_conv(self):
+        """The functional heart of the DL story: IM2ROW + GEMM == conv."""
+        rng = np.random.default_rng(0)
+        spec = ConvSpec(6, 5, 3, 4, 3, 3, 2, 1)
+        x = rng.random((6, 5, 3), dtype=np.float32)
+        filters = rng.random((3, 3, 3, 4), dtype=np.float32)
+        rows = im2row_matrix(x, spec)
+        m, n, k = im2row_gemm_dims(spec)
+        assert rows.shape == (m, k)
+        gemm_out = rows @ filters.reshape(k, n)
+        direct = conv_reference(x, filters, spec)
+        np.testing.assert_allclose(
+            gemm_out.reshape(direct.shape), direct, rtol=1e-4
+        )
+
+    def test_wrong_input_shape_rejected(self):
+        spec = ConvSpec(6, 5, 3, 4, 3, 3)
+        with pytest.raises(ValueError):
+            im2row_matrix(np.zeros((5, 5, 3), dtype=np.float32), spec)
+
+    def test_degenerate_output_rejected(self):
+        with pytest.raises(ValueError, match="degenerate"):
+            ConvSpec(2, 2, 3, 4, 5, 5).out_shape()
+
+
+class TestSquares:
+    def test_sizes(self):
+        assert SQUARE_SIZES == (1000, 2000, 3000, 4000, 5000)
+
+    def test_shapes(self):
+        assert square_shapes()[0] == (1000, 1000, 1000)
