@@ -15,6 +15,33 @@ import pytest
 from repro.eval.harness import EvalContext, default_context
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "requires_isa(name): skip the benchmark when the named ISA backend "
+        "is not in the target registry",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip benchmarks whose ISA backend is not registered.
+
+    Downstream forks can trim `repro.isa.targets` to the backends they
+    care about; bench collection then skips cleanly instead of erroring.
+    """
+    from repro.isa.targets import ISA_TARGETS
+
+    for item in items:
+        for mark in item.iter_markers(name="requires_isa"):
+            missing = [n for n in mark.args if n not in ISA_TARGETS]
+            if missing:
+                item.add_marker(
+                    pytest.mark.skip(
+                        reason=f"ISA backend(s) not registered: {missing}"
+                    )
+                )
+
+
 @pytest.fixture(scope="session")
 def ctx() -> EvalContext:
     """Shared evaluation context; kernel generation and pipeline timing are

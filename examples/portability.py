@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Portability: the same generator, three hardware targets.
+"""Portability: the same generator, five hardware targets.
 
 The paper's Sections III-C and III-D argue that retargeting the micro-kernel
 generator is a matter of swapping the instruction library handed to
@@ -9,7 +9,10 @@ generator is a matter of swapping the instruction library handed to
 * ARM Neon f16 (the paper's contributed extension) — 8 lanes per register;
 * Intel AVX-512 — no lane FMA, so the broadcast schedule is used, with
   ``_mm512_loadu_ps`` taking the place of ``vld1q_f32`` exactly as the
-  paper describes.
+  paper describes;
+* RISC-V Vector at VLEN=128 and VLEN=256 — the vector-length-agnostic
+  case: the library itself is generated per VLEN, and the broadcast is
+  fused into ``vfmacc.vf``.
 
 Each generated kernel is validated against numpy through the interpreter.
 
@@ -22,9 +25,15 @@ import numpy as np
 
 from repro import generate_microkernel
 from repro.isa.avx512 import AVX512_F32_LIB
-from repro.isa.machine import AVX512_SERVER, CARMEL
+from repro.isa.machine import (
+    AVX512_SERVER,
+    CARMEL,
+    RVV_EDGE_VLEN128,
+    RVV_SERVER_VLEN256,
+)
 from repro.isa.neon import NEON_F32_LIB
 from repro.isa.neon_fp16 import NEON_F16_LIB
+from repro.isa.rvv import RVV128_F32_LIB, RVV256_F32_LIB
 from repro.sim.pipeline import PipelineModel, trace_from_kernel
 from repro.sim.timing import solo_kernel_gflops
 
@@ -46,6 +55,10 @@ def main() -> None:
         ("ARM Neon f32", NEON_F32_LIB, (8, 12), CARMEL),
         ("ARM Neon f16", NEON_F16_LIB, (8, 16), CARMEL),
         ("Intel AVX-512 f32", AVX512_F32_LIB, (16, 14), AVX512_SERVER),
+        ("RISC-V RVV f32 VLEN=128", RVV128_F32_LIB, (8, 12),
+         RVV_EDGE_VLEN128),
+        ("RISC-V RVV f32 VLEN=256", RVV256_F32_LIB, (8, 24),
+         RVV_SERVER_VLEN256),
     ]
     for name, lib, (mr, nr), machine in targets:
         kernel = generate_microkernel(mr, nr, lib)
@@ -66,7 +79,8 @@ def main() -> None:
               f"({100 * gflops / peak:.0f}% of {peak:.1f} peak)")
         first_call = next(
             line for line in kernel.proc.c_code().splitlines()
-            if "(" in line and ("vld1q" in line or "_mm512" in line)
+            if "(" in line and "vsetvl" not in line
+            and ("vld1q" in line or "_mm512" in line or "__riscv_v" in line)
         )
         print(f"  sample intrinsic   : {first_call.strip()}")
         print()

@@ -7,8 +7,9 @@ The package implements, from scratch:
   loop DSL, the scheduling primitives of the paper's Section III, a
   unification-checked ``replace`` for hardware instructions, a reference
   interpreter, and C / pseudo-assembly backends.
-* :mod:`repro.isa` — instruction libraries (ARM Neon f32/f16, AVX-512)
-  written as semantic ``@instr`` procedures, plus machine models.
+* :mod:`repro.isa` — instruction libraries (ARM Neon f32/f16, AVX-512,
+  RISC-V Vector at any VLEN) written as semantic ``@instr`` procedures,
+  plus machine models and the ISA target registry (``docs/backends.md``).
 * :mod:`repro.ukernel` — the paper's step-by-step GEMM micro-kernel
   generator and kernel-family machinery.
 * :mod:`repro.blis` — the five-loop BLIS-like GEMM algorithm with packing

@@ -40,7 +40,7 @@ def analytical_tile_params(
     """Compute (mc, kc, nc) for an ``mr x nr`` kernel on ``machine``."""
     if mr <= 0 or nr <= 0:
         raise ValueError(f"kernel shape must be positive, got {mr}x{nr}")
-    l1, l2, l3 = (machine.cache(n) for n in ("L1", "L2", "L3"))
+    l1, l2 = machine.cache("L1"), machine.cache("L2")
 
     # kc from L1: ways granted to the Ar micro-panel
     sets_l1 = l1.size_bytes // (l1.line_bytes * l1.assoc)
@@ -53,9 +53,17 @@ def analytical_tile_params(
     mc = int(ac_bytes // (kc * dtype_bytes))
     mc = _round_down_multiple(mc, mr)
 
-    # nc from L3: Bc takes all but two ways
-    bc_bytes = (l3.assoc - 2) / l3.assoc * l3.size_bytes
-    nc = int(bc_bytes // (kc * dtype_bytes))
+    # nc from L3: Bc takes all but two ways.  Cores without an L3 (common
+    # on RISC-V SoCs, where the cluster L2 is the last level) stream Bc
+    # from DRAM; BLIS there bounds nc by TLB reach rather than a cache,
+    # which for a 4 KiB page and kc-deep panels comes to a few thousand
+    # columns — we use the customary 4096 before rounding to nr.
+    if machine.has_cache("L3"):
+        l3 = machine.cache("L3")
+        bc_bytes = (l3.assoc - 2) / l3.assoc * l3.size_bytes
+        nc = int(bc_bytes // (kc * dtype_bytes))
+    else:
+        nc = 4096
     nc = _round_down_multiple(nc, nr)
 
     return TileParams(mc=mc, kc=kc, nc=nc, mr=mr, nr=nr)

@@ -15,7 +15,7 @@ it on numpy buffers (``p.interpret(...)``).
 """
 
 from .instr import instr
-from .memory import AVX512, DRAM, GENERIC, Memory, Neon, Neon8f
+from .memory import AVX512, DRAM, GENERIC, Memory, Neon, Neon8f, rvv_memory
 from .prelude import (
     InterpError,
     ParseError,
@@ -40,4 +40,5 @@ __all__ = [
     "SchedulingError",
     "instr",
     "proc",
+    "rvv_memory",
 ]

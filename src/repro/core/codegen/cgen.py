@@ -17,7 +17,8 @@ Layout rules:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..affine import try_constant
 from ..loopir import (
@@ -43,6 +44,39 @@ from ..memory import DRAM, Memory
 from ..prelude import CodegenError, FreshNamer, Sym
 from ..typesys import ScalarType, TensorType
 
+@dataclass(frozen=True)
+class IsaEmitInfo:
+    """Per-ISA emission hooks, keyed by register-file memory name.
+
+    ``header`` is the intrinsic header include; ``prelude`` lines are
+    emitted once at the top of any function touching the memory (RVV uses
+    this for ``vsetvl``); ``extra_holes`` are format-string holes every
+    intrinsic of the ISA may reference (RVV's ``{vl}``).
+    """
+
+    header: str = ""
+    prelude: Tuple[str, ...] = ()
+    extra_holes: Tuple[Tuple[str, str], ...] = ()
+
+
+#: the ISA dispatch table: register-file memory name -> emission hooks
+_ISA_EMIT: Dict[str, IsaEmitInfo] = {
+    "Neon": IsaEmitInfo(header="#include <arm_neon.h>"),
+    "Neon8f": IsaEmitInfo(header="#include <arm_neon.h>"),
+    "AVX512": IsaEmitInfo(header="#include <immintrin.h>"),
+}
+
+
+def register_isa_codegen(mem_name: str, info: IsaEmitInfo) -> IsaEmitInfo:
+    """Register emission hooks for a new ISA's register-file memory."""
+    _ISA_EMIT[mem_name] = info
+    return info
+
+
+def isa_emit_info(mem: Memory) -> Optional[IsaEmitInfo]:
+    return _ISA_EMIT.get(mem.name)
+
+
 _C_KEYWORDS = {
     "for",
     "if",
@@ -67,6 +101,7 @@ class _CGen:
         self.depth = 1
         self.buf_info: Dict[Sym, tuple] = {}  # sym -> (type, mem, vectorized)
         self.globals: List[str] = []
+        self.isa_infos: List[IsaEmitInfo] = []  # dispatch entries in use
 
     # -- naming and layout ----------------------------------------------------
 
@@ -82,6 +117,12 @@ class _CGen:
         ):
             vectorized = True
         self.buf_info[sym] = (typ, mem, vectorized)
+        self.touch_isa(mem)
+
+    def touch_isa(self, mem: Memory):
+        info = isa_emit_info(mem)
+        if info is not None and info not in self.isa_infos:
+            self.isa_infos.append(info)
 
     def emit(self, text: str):
         self.lines.append("    " * self.depth + text)
@@ -210,6 +251,12 @@ class _CGen:
         if callee.instr.c_global and callee.instr.c_global not in self.globals:
             self.globals.append(callee.instr.c_global)
         holes: Dict[str, str] = {}
+        for formal in callee.args:
+            if formal.mem is not None:
+                info = isa_emit_info(formal.mem)
+                if info is not None:
+                    self.touch_isa(formal.mem)
+                    holes.update(info.extra_holes)
         for formal, actual in zip(callee.args, s.args):
             base = formal.name.name
             if isinstance(actual, WindowExpr):
@@ -260,9 +307,13 @@ class _CGen:
             else:
                 params.append(f"{arg.type.ctype()} {name}")
         self.stmts(self.ir.body)
-        body = "\n".join(self.lines)
+        prelude = [
+            "    " + line for info in self.isa_infos for line in info.prelude
+        ]
+        body = "\n".join(prelude + self.lines)
         header = f"void {self.ir.name}({', '.join(params)}) {{"
-        preamble = "\n".join(self.globals)
+        includes = [i.header for i in self.isa_infos if i.header]
+        preamble = "\n".join(dict.fromkeys(includes + self.globals))
         text = f"{header}\n{body}\n}}\n"
         if preamble:
             text = preamble + "\n\n" + text

@@ -29,9 +29,14 @@ class Memory:
         is_register_file: True for SIMD register banks.
         vector_lanes: for register files, lanes per register at the natural
             32-bit element width (None for scalar memories).
-        reg_bits: register width in bits (None for scalar memories).
+        reg_bits: register width in bits (None for scalar memories).  For
+            vector-length-agnostic ISAs this is the *active* width — the
+            part of the register selected by ``vsetvl`` — which may be
+            smaller than the hardware register (see ``vlen_bits``).
         ctype_vector: C type used by the codegen for one register, keyed by
             scalar type name.  Empty for non-register memories.
+        vlen_bits: hardware register width for VLA register files whose
+            active view (``reg_bits``) is narrower; None elsewhere.
     """
 
     name: str
@@ -39,6 +44,7 @@ class Memory:
     vector_lanes: Optional[int] = None
     reg_bits: Optional[int] = None
     ctype_vector: tuple = ()
+    vlen_bits: Optional[int] = None
 
     def vector_ctype(self, scalar_name: str) -> str:
         for key, val in self.ctype_vector:
@@ -93,6 +99,38 @@ AVX512 = Memory(
     ctype_vector=(("f32", "__m512"), ("R", "__m512"), ("f64", "__m512d")),
 )
 """Intel AVX-512 register file viewed as 16 x f32 lanes."""
+
+_RVV_CACHE: dict = {}
+
+
+def rvv_memory(vlen_bits: int, avl: Optional[int] = None) -> Memory:
+    """The RISC-V Vector register file at a given VLEN, viewed as f32 lanes.
+
+    RVV is vector-length agnostic: the same ``vfloat32m1_t`` register holds
+    ``VLEN/32`` f32 elements, and ``vsetvl`` can select any shorter active
+    length (AVL) for tail processing without masking.  Each (VLEN, AVL)
+    pair gets its own memory so the scheduling and codegen layers see the
+    active lane count, while ``vlen_bits`` records the hardware width.
+    """
+    lanes = vlen_bits // 32
+    avl = lanes if avl is None else avl
+    if not 1 <= avl <= lanes:
+        raise ValueError(f"AVL {avl} out of range for VLEN={vlen_bits}")
+    key = (vlen_bits, avl)
+    if key not in _RVV_CACHE:
+        name = f"RVV{vlen_bits}" if avl == lanes else f"RVV{vlen_bits}vl{avl}"
+        _RVV_CACHE[key] = register_memory(
+            Memory(
+                name,
+                is_register_file=True,
+                vector_lanes=avl,
+                reg_bits=32 * avl,
+                ctype_vector=(("f32", "vfloat32m1_t"), ("R", "vfloat32m1_t")),
+                vlen_bits=vlen_bits,
+            )
+        )
+    return _RVV_CACHE[key]
+
 
 _ALL = {m.name: m for m in (DRAM, GENERIC, Neon, Neon8f, AVX512)}
 

@@ -10,6 +10,9 @@ from .harness import (
     fig16_resnet_time_data,
     fig17_vgg_layer_data,
     fig18_vgg_time_data,
+    machine_context,
+    portability_solo_data,
+    solo_sweep_data,
 )
 from .report import render_series, render_table
 
@@ -23,6 +26,9 @@ __all__ = [
     "fig16_resnet_time_data",
     "fig17_vgg_layer_data",
     "fig18_vgg_time_data",
+    "machine_context",
+    "portability_solo_data",
     "render_series",
     "render_table",
+    "solo_sweep_data",
 ]

@@ -4,6 +4,12 @@ The equivalent of the artifact's ``build_and_execute_all.sh`` +
 ``do_plots.sh``: runs every experiment (Figures 13-18, Tables I/II) and
 writes one text report per figure into the output directory (default
 ``results/``), plus a SUMMARY.txt with the headline findings.
+
+``--isa NAME`` retargets the evaluation to another registered backend
+(``rvv128``, ``rvv256``, ``avx512``): the hand-written ARM baselines do
+not exist there, so the report is the generated-family solo sweep, the
+square-GEMM sweep with model-driven kernel selection, and the cross-ISA
+portability table.
 """
 
 from __future__ import annotations
@@ -24,6 +30,9 @@ from .harness import (
     fig16_resnet_time_data,
     fig17_vgg_layer_data,
     fig18_vgg_time_data,
+    machine_context,
+    portability_solo_data,
+    solo_sweep_data,
 )
 from .report import render_table, winners
 
@@ -36,10 +45,99 @@ def _write(outdir: Path, name: str, text: str) -> None:
     print(f"  wrote {path}")
 
 
+def run_isa_eval(isa: str, outdir: Path) -> int:
+    """The retargeted evaluation for one non-default backend."""
+    from repro.isa.targets import target
+    from repro.ukernel.registry import select_kernel_for
+
+    t = target(isa)
+    ctx = machine_context(t.machine)
+    summary = [f"ISA {isa} on {t.machine.name} "
+               f"(peak {t.machine.peak_gflops():.1f} GFLOPS)"]
+
+    print(f"Solo sweep ({isa} generated family)...")
+    rows = solo_sweep_data(ctx)
+    text = render_table(
+        rows, title=f"Solo-mode GFLOPS — {t.machine.name}"
+    )
+    text += "\n\n" + bar_chart(rows, x="shape", series=["GFLOPS"], unit=" GF")
+    _write(outdir, f"isa_{isa}_solo.txt", text)
+    best = max(rows, key=lambda r: r["GFLOPS"])
+    summary.append(
+        f"solo: best {best['shape']} at {best['GFLOPS']:.1f} GFLOPS "
+        f"({100 * best['peak_frac']:.0f}% of peak)"
+    )
+
+    print("Square GEMM sweep with model-driven selection...")
+    sq_rows = []
+    for s in (256, 512, 1024, 2048):
+        shape, b = select_kernel_for(s, s, s, machine=t.machine)
+        sq_rows.append(
+            {"size": s, "kernel": f"{shape[0]}x{shape[1]}",
+             "GFLOPS": b.gflops}
+        )
+    _write(
+        outdir, f"isa_{isa}_square.txt",
+        render_table(
+            sq_rows, title=f"Square GEMM GFLOPS — {t.machine.name}"
+        ),
+    )
+    summary.append(
+        f"square: {sq_rows[-1]['GFLOPS']:.1f} GFLOPS at 2048 "
+        f"with kernel {sq_rows[-1]['kernel']}"
+    )
+
+    print("Cross-ISA portability table...")
+    port = portability_solo_data(
+        tuple(dict.fromkeys(("neon", "rvv128", "rvv256", isa)))
+    )
+    _write(
+        outdir, "portability.txt",
+        render_table(port, title="Generated main kernel, fraction of peak"),
+    )
+    fracs = {r["isa"]: r["peak_frac"] for r in port}
+    summary.append(
+        "portability: "
+        + ", ".join(f"{k} {100 * v:.0f}%" for k, v in fracs.items())
+    )
+
+    _write(outdir, f"SUMMARY_{isa}.txt", "\n".join(summary))
+    print("\n".join(summary))
+    return 0
+
+
 def main(argv=None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
+    argv = list(argv if argv is not None else sys.argv[1:])
+    isa = "neon"
+    for i, arg in enumerate(argv):
+        if arg.startswith("--isa="):
+            isa = arg.split("=", 1)[1].lower()
+            del argv[i]
+            break
+        if arg == "--isa":
+            try:
+                isa = argv[i + 1].lower()
+            except IndexError:
+                print("--isa requires an argument", file=sys.stderr)
+                return 2
+            del argv[i : i + 2]
+            break
+    if not isa:
+        print("--isa requires an argument", file=sys.stderr)
+        return 2
+    if isa != "neon":
+        from repro.isa.targets import ISA_TARGETS
+
+        if isa not in ISA_TARGETS:
+            print(
+                f"unknown ISA {isa!r}; registered: {sorted(ISA_TARGETS)}",
+                file=sys.stderr,
+            )
+            return 2
     outdir = Path(argv[0]) if argv else Path("results")
     outdir.mkdir(parents=True, exist_ok=True)
+    if isa != "neon":
+        return run_isa_eval(isa, outdir)
     ctx = default_context()
     t0 = time.time()
     summary = []

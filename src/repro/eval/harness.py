@@ -33,11 +33,11 @@ from repro.sim.timing import (
     gemm_time_model,
     solo_kernel_gflops,
 )
-from repro.ukernel.edge import monolithic_cover, tile_cover
+from repro.ukernel.edge import monolithic_cover, tile_cover, vla_tile_cover
 from repro.ukernel.registry import (
-    DEFAULT_FAMILY,
     KernelRegistry,
     default_registry,
+    registry_for_machine,
 )
 from repro.workloads.resnet50 import RESNET50_LAYERS, resnet50_instances
 from repro.workloads.square import SQUARE_SIZES
@@ -59,22 +59,42 @@ EXO_CALL_OVERHEAD = 10.0
 
 @dataclass
 class EvalContext:
-    """Shared state: machine, kernel registry, memoized timing model."""
+    """Shared state: machine, kernel registry, memoized timing model.
+
+    The registry defaults to the machine's ISA target (Neon on Carmel,
+    the RVV library on an RVV core, ...), so a context is fully
+    retargeted by naming a machine.
+    """
 
     machine: MachineModel = CARMEL
-    registry: KernelRegistry = field(default_factory=default_registry)
+    registry: Optional[KernelRegistry] = None
     model: TimingModel = None
 
     def __post_init__(self):
+        if self.registry is None:
+            self.registry = registry_for_machine(self.machine)
         if self.model is None:
             self.model = TimingModel(machine=self.machine)
         self._neon_trace: Optional[KernelTrace] = None
         self._blis_trace: Optional[KernelTrace] = None
-        self._exo_traces: Dict[Tuple[int, int], KernelTrace] = {}
+        #: (mr, nr) -> trace, plus ("vla", h, w) -> part trace lists
+        self._exo_traces: Dict[tuple, object] = {}
+
+    @property
+    def main_tile(self) -> Tuple[int, int]:
+        return self.registry.family_shapes[0]
 
     # -- kernel traces -----------------------------------------------------
 
+    def _require_neon(self, what: str) -> None:
+        if self.machine.isa != "neon":
+            raise ValueError(
+                f"{what} is a hand-written ARM baseline; machine "
+                f"{self.machine.name!r} runs ISA {self.machine.isa!r}"
+            )
+
     def neon_trace(self) -> KernelTrace:
+        self._require_neon("the NEON intrinsics kernel")
         if self._neon_trace is None:
             self._neon_trace = neon_kernel_model(
                 8, 12, kernel=self.registry.get(8, 12)
@@ -82,6 +102,7 @@ class EvalContext:
         return self._neon_trace
 
     def blis_trace(self) -> KernelTrace:
+        self._require_neon("the BLIS assembly kernel")
         if self._blis_trace is None:
             self._blis_trace = blis_kernel_model(
                 8, 12, kernel=self.registry.get(8, 12)
@@ -94,8 +115,37 @@ class EvalContext:
             self._exo_traces[key] = trace_from_kernel(self.registry.get(mr, nr))
         return self._exo_traces[key]
 
+    # -- VLA tiles ---------------------------------------------------------
+
+    def vla_lib_factory(self):
+        """The AVL -> library closure of this machine's target, or None."""
+        from repro.isa.targets import target_for_machine
+
+        return target_for_machine(self.machine).lib_factory
+
+    def vla_part_traces(
+        self, h: int, w: int
+    ) -> List[Tuple[int, KernelTrace]]:
+        """Traces for the part kernels of an (h, w) VLA tile.
+
+        A lane-multiple height is one plain kernel; a ragged height is a
+        full-width part plus a reduced-``vsetvl`` tail part (see
+        :func:`repro.ukernel.generator.generate_vla_microkernel`).
+        """
+        from repro.ukernel.generator import generate_vla_microkernel
+
+        key = ("vla", h, w)
+        if key not in self._exo_traces:
+            plan = generate_vla_microkernel(h, w, self.vla_lib_factory())
+            self._exo_traces[key] = [
+                (kernel.mr, trace_from_kernel(kernel))
+                for _, kernel in plan.parts
+            ]
+        return self._exo_traces[key]
+
 
 _default_context: Optional[EvalContext] = None
+_machine_contexts: Dict[str, EvalContext] = {}
 
 
 def default_context() -> EvalContext:
@@ -103,6 +153,16 @@ def default_context() -> EvalContext:
     if _default_context is None:
         _default_context = EvalContext()
     return _default_context
+
+
+def machine_context(machine: MachineModel) -> EvalContext:
+    """Memoized per-machine context (kernels and timings are shared)."""
+    if machine is CARMEL:
+        return default_context()
+    key = machine.name
+    if key not in _machine_contexts:
+        _machine_contexts[key] = EvalContext(machine=machine)
+    return _machine_contexts[key]
 
 
 # ---------------------------------------------------------------------------
@@ -171,7 +231,7 @@ def exo_gemm_breakdown(
     m: int,
     n: int,
     k: int,
-    main: Tuple[int, int] = (8, 12),
+    main: Optional[Tuple[int, int]] = None,
     registry: Optional[KernelRegistry] = None,
     ctx: Optional[EvalContext] = None,
 ) -> GemmTimeBreakdown:
@@ -179,33 +239,58 @@ def exo_gemm_breakdown(
 
     The (m, n) plane decomposes into the main tile plus smaller family
     members over the ragged edges — no masked work, every flop useful.
+    ``main`` defaults to the context's ISA main tile (8x12 on Neon).
+
+    On a VLA target (RVV) the plane is covered *exactly* via
+    :func:`vla_tile_cover` — ragged heights run as full-width parts plus
+    a reduced-``vsetvl`` tail instead of being padded to a family shape.
     """
     ctx = ctx or default_context()
     if registry is not None and registry is not ctx.registry:
         ctx = EvalContext(machine=ctx.machine, registry=registry)
-    mr_main, nr_main = main
+    mr_main, nr_main = main if main is not None else ctx.main_tile
     shape = GemmShape(m, n, k)
     tiles = clamp_tiles(
         analytical_tile_params(mr_main, nr_main, ctx.machine), m, n, k
     )
-    heights = tuple(
-        sorted({s[0] for s in DEFAULT_FAMILY if s[0] <= mr_main}, reverse=True)
-    )
-    widths = tuple(
-        sorted({s[1] for s in DEFAULT_FAMILY if s[1] <= nr_main}, reverse=True)
-    )
-    family = tuple((h, w) for h in heights for w in widths)
-    cover = tile_cover(m, n, family)
-    plans = [
-        ChunkPlan(
-            trace=ctx.exo_trace(mr, nr),
-            mr=mr,
-            nr=nr,
-            count=count,
-            call_overhead=EXO_CALL_OVERHEAD,
+    plans: List[ChunkPlan] = []
+    if ctx.registry.lib.get("vla") and ctx.vla_lib_factory() is not None:
+        cover = vla_tile_cover(m, n, mr_main, nr_main)
+        for (h, w), count in sorted(cover.items()):
+            for part_mr, trace in ctx.vla_part_traces(h, w):
+                plans.append(
+                    ChunkPlan(
+                        trace=trace,
+                        mr=part_mr,
+                        nr=w,
+                        count=count,
+                        call_overhead=EXO_CALL_OVERHEAD,
+                    )
+                )
+    else:
+        family_shapes = ctx.registry.family_shapes
+        heights = tuple(
+            sorted(
+                {s[0] for s in family_shapes if s[0] <= mr_main}, reverse=True
+            )
         )
-        for (mr, nr), count in sorted(cover.items())
-    ]
+        widths = tuple(
+            sorted(
+                {s[1] for s in family_shapes if s[1] <= nr_main}, reverse=True
+            )
+        )
+        family = tuple((h, w) for h in heights for w in widths)
+        cover = tile_cover(m, n, family)
+        plans = [
+            ChunkPlan(
+                trace=ctx.exo_trace(mr, nr),
+                mr=mr,
+                nr=nr,
+                count=count,
+                call_overhead=EXO_CALL_OVERHEAD,
+            )
+            for (mr, nr), count in sorted(cover.items())
+        ]
     return gemm_time_model(
         shape, plans, tiles, prefetch_c=False,
         machine=ctx.machine, model=ctx.model,
@@ -325,3 +410,71 @@ def fig17_vgg_layer_data(ctx: Optional[EvalContext] = None) -> List[dict]:
 def fig18_vgg_time_data(ctx: Optional[EvalContext] = None) -> List[dict]:
     """Aggregated inference time across the 13 VGG16 layers (Figure 18)."""
     return _instance_time_rows(vgg16_instances(), ctx or default_context())
+
+
+# ---------------------------------------------------------------------------
+# Cross-ISA portability (the Section III-C claim, extended to RVV)
+# ---------------------------------------------------------------------------
+
+
+def solo_sweep_data(
+    ctx: EvalContext,
+    shapes: Optional[Tuple[Tuple[int, int], ...]] = None,
+    kc: int = 512,
+) -> List[dict]:
+    """Figure-13-style solo sweep of the generated family on any machine.
+
+    Unlike :func:`fig13_solo_data` there are no hand-written baselines —
+    only the generated kernels exist on a fresh ISA — so each row reports
+    absolute GFLOPS plus the fraction of the machine's peak, which is the
+    cross-ISA comparison metric.
+    """
+    shapes = shapes if shapes is not None else ctx.registry.family_shapes
+    peak = ctx.machine.peak_gflops()
+    rows = []
+    for mr, nr in shapes:
+        gf = solo_kernel_gflops(
+            ctx.exo_trace(mr, nr), mr, nr, kc=kc,
+            call_overhead=EXO_CALL_OVERHEAD,
+            machine=ctx.machine, model=ctx.model,
+        )
+        rows.append(
+            {
+                "shape": f"{mr}x{nr}",
+                "GFLOPS": gf,
+                "peak_frac": gf / peak,
+            }
+        )
+    return rows
+
+
+def portability_solo_data(
+    isas: Tuple[str, ...] = ("neon", "rvv128", "rvv256"),
+    kc: int = 512,
+) -> List[dict]:
+    """The RVV portability experiment: the main register tile of every
+    listed ISA, run solo on its own machine, compared by fraction of peak.
+
+    The paper's portability argument predicts the generated kernels land
+    at a similar fraction of peak on every target once the machine and
+    instruction descriptions exist — this table is that prediction.
+    """
+    from repro.isa.targets import target as isa_target
+
+    rows = []
+    for name in isas:
+        t = isa_target(name)
+        ctx = machine_context(t.machine)
+        mr, nr = ctx.main_tile
+        row = solo_sweep_data(ctx, shapes=((mr, nr),), kc=kc)[0]
+        rows.append(
+            {
+                "isa": name,
+                "machine": t.machine.name,
+                "shape": row["shape"],
+                "GFLOPS": row["GFLOPS"],
+                "peak": t.machine.peak_gflops(),
+                "peak_frac": row["peak_frac"],
+            }
+        )
+    return rows

@@ -6,6 +6,24 @@ decorator carries the C intrinsic format string and the performance
 attributes consumed by the pipeline simulator.
 """
 
-from .machine import CARMEL, GENERIC_ARM, MachineModel
+from .machine import (
+    AVX512_SERVER,
+    CARMEL,
+    GENERIC_ARM,
+    MACHINES,
+    MachineModel,
+    RVV_EDGE_VLEN128,
+    RVV_SERVER_VLEN256,
+    machine_by_name,
+)
 
-__all__ = ["CARMEL", "GENERIC_ARM", "MachineModel"]
+__all__ = [
+    "AVX512_SERVER",
+    "CARMEL",
+    "GENERIC_ARM",
+    "MACHINES",
+    "MachineModel",
+    "RVV_EDGE_VLEN128",
+    "RVV_SERVER_VLEN256",
+    "machine_by_name",
+]

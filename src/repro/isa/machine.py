@@ -47,6 +47,13 @@ class MachineModel:
     caches: Tuple[CacheLevel, ...]
     dram_latency_cycles: int
     dram_bandwidth_bytes_per_cycle: float
+    #: key into the ISA target registry (repro.isa.targets) naming the
+    #: instruction library and register-tile family this core executes
+    isa: str = "neon"
+    #: cycles a full-width vector op occupies its functional unit — the
+    #: RVV "chime": >1 models a datapath narrower than the register
+    #: (e.g. VLEN=128 over a 64-bit datapath executes in 2 chimes)
+    vector_chime: int = 1
 
     def pipe_count(self, pipe: str) -> int:
         for name, count in self.pipes:
@@ -58,12 +65,15 @@ class MachineModel:
         return self.vector_bits // scalar_bits
 
     def peak_gflops(self, scalar_bits: int = 32) -> float:
-        """Peak FP throughput: FMA pipes x lanes x 2 flops x frequency."""
+        """Peak FP throughput: FMA pipes x lanes x 2 flops x frequency,
+        derated by the chime count when the datapath is narrower than the
+        vector register."""
         return (
             self.pipe_count("fma")
             * self.vector_lanes(scalar_bits)
             * 2
             * self.freq_ghz
+            / self.vector_chime
         )
 
     def cache(self, name: str) -> CacheLevel:
@@ -71,6 +81,9 @@ class MachineModel:
             if level.name == name:
                 return level
         raise KeyError(f"machine {self.name} has no cache level {name!r}")
+
+    def has_cache(self, name: str) -> bool:
+        return any(level.name == name for level in self.caches)
 
 
 CARMEL = MachineModel(
@@ -131,5 +144,70 @@ AVX512_SERVER = MachineModel(
     ),
     dram_latency_cycles=200,
     dram_bandwidth_bytes_per_cycle=12.0,
+    isa="avx512",
 )
 """Portability target for the Section III-C retargeting story."""
+
+RVV_EDGE_VLEN128 = MachineModel(
+    name="RVV edge core (VLEN=128)",
+    freq_ghz=1.6,
+    issue_width=2,
+    pipes=(("fma", 1), ("load", 1), ("store", 1), ("alu", 1)),
+    vector_registers=32,
+    vector_bits=128,
+    fma_latency=6,
+    load_latency=4,
+    caches=(
+        # a typical RISC-V SoC: no shared L3 behind the cluster L2
+        CacheLevel("L1", 32 * 1024, 64, 4, 3, 16.0),
+        CacheLevel("L2", 512 * 1024, 64, 8, 18, 8.0),
+    ),
+    dram_latency_cycles=160,
+    dram_bandwidth_bytes_per_cycle=4.0,
+    isa="rvv128",
+    vector_chime=2,
+)
+"""A dual-issue in-order RVV 1.0 edge core (C908/U74-class): 128-bit
+vector registers over a 64-bit datapath, so every vector op takes two
+chimes.  Peak FP32 = 1 pipe x 4 lanes x 2 flops x 1.6 GHz / 2 = 6.4
+GFLOPS."""
+
+RVV_SERVER_VLEN256 = MachineModel(
+    name="RVV server core (VLEN=256)",
+    freq_ghz=2.0,
+    issue_width=4,
+    pipes=(("fma", 2), ("load", 2), ("store", 1), ("alu", 2)),
+    vector_registers=32,
+    vector_bits=256,
+    fma_latency=4,
+    load_latency=5,
+    caches=(
+        CacheLevel("L1", 64 * 1024, 64, 8, 4, 32.0),
+        CacheLevel("L2", 1024 * 1024, 64, 16, 16, 16.0),
+        CacheLevel("L3", 8 * 1024 * 1024, 64, 16, 45, 12.0),
+    ),
+    dram_latency_cycles=180,
+    dram_bandwidth_bytes_per_cycle=10.0,
+    isa="rvv256",
+)
+"""A wide OoO RVV application core (P670/Veyron-class): VLEN=256 with a
+full-width datapath.  Peak FP32 = 2 x 8 x 2 x 2.0 = 64 GFLOPS."""
+
+
+MACHINES = {
+    "carmel": CARMEL,
+    "generic-arm": GENERIC_ARM,
+    "avx512": AVX512_SERVER,
+    "rvv128": RVV_EDGE_VLEN128,
+    "rvv256": RVV_SERVER_VLEN256,
+}
+"""Registered machine models, keyed by the CLI/eval spelling."""
+
+
+def machine_by_name(name: str) -> MachineModel:
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; known: {sorted(MACHINES)}"
+        ) from None

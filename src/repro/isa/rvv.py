@@ -1,0 +1,255 @@
+"""RISC-V Vector (RVV 1.0, f32, LMUL=1) instruction library.
+
+RVV is the hard retargeting case of the paper's Section III-C argument:
+unlike Neon or AVX-512 the ISA is *vector-length agnostic* (VLA) — the
+register width VLEN is an implementation parameter, and ``vsetvl`` selects
+an active length (AVL) up to ``VLEN/SEW`` each time the kernel runs.  The
+DSL's ``replace`` unification needs concrete extents, so this module is a
+*factory*: :func:`make_rvv_f32_lib` specializes the Figure-3-style
+instruction definitions against a VLEN (and optionally a shorter AVL for
+tail kernels), generating the ``@instr`` procedures on the fly.
+
+Two properties distinguish the library from the Neon/AVX-512 ones:
+
+* there is no lane-selecting FMA (``fmla_lane`` is None), so the generator
+  always takes the broadcast flavour of Section III-B; and
+* ``vfmacc.vf`` takes its broadcast operand as a *scalar register*, fusing
+  the splat into the FMA — exposed as the ``fma_vf`` slot, which lets the
+  generator skip the B-register staging step entirely.
+
+Every intrinsic carries a ``{vl}`` hole; the C backend's ISA dispatch table
+(:mod:`repro.core.codegen.cgen`) fills it from a per-function ``vsetvl``
+prelude.
+"""
+
+from __future__ import annotations
+
+import linecache
+from typing import Callable, Dict, Optional
+
+from repro.core import instr
+from repro.core.codegen.cgen import IsaEmitInfo, register_isa_codegen
+from repro.core.memory import rvv_memory
+
+__all__ = [
+    "make_rvv_f32_lib",
+    "rvv_lib_factory",
+    "RVV128_F32_LIB",
+    "RVV256_F32_LIB",
+]
+
+
+_SOURCE_TEMPLATE = '''\
+from __future__ import annotations
+
+
+def {p}vle32(dst: [f32][{L}] @ {MEM}, src: [f32][{L}] @ DRAM):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] = src[i]
+
+
+def {p}vse32(dst: [f32][{L}] @ DRAM, src: [f32][{L}] @ {MEM}):
+    assert stride(src, 0) == 1
+    assert stride(dst, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] = src[i]
+
+
+def {p}vfmacc_vv(dst: [f32][{L}] @ {MEM}, lhs: [f32][{L}] @ {MEM}, rhs: [f32][{L}] @ {MEM}):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] += lhs[i] * rhs[i]
+
+
+def {p}vfmacc_vf(dst: [f32][{L}] @ {MEM}, lhs: [f32][{L}] @ {MEM}, rhs: [f32][1] @ DRAM):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] += lhs[i] * rhs[0]
+
+
+def {p}vfmv_v_f(dst: [f32][{L}] @ {MEM}, src: [f32][1] @ DRAM):
+    assert stride(dst, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] = src[0]
+
+
+def {p}vmv_zero(dst: [f32][{L}] @ {MEM}):
+    assert stride(dst, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] = 0.0
+
+
+def {p}vfmul_vv(dst: [f32][{L}] @ {MEM}, lhs: [f32][{L}] @ {MEM}, rhs: [f32][{L}] @ {MEM}):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] = lhs[i] * rhs[i]
+
+
+def {p}vfadd_vv(dst: [f32][{L}] @ {MEM}, lhs: [f32][{L}] @ {MEM}, rhs: [f32][{L}] @ {MEM}):
+    assert stride(dst, 0) == 1
+    assert stride(lhs, 0) == 1
+    assert stride(rhs, 0) == 1
+    for i in seq(0, {L}):
+        dst[i] = lhs[i] + rhs[i]
+'''
+
+
+def _exec_dsl_source(source: str, tag: str) -> dict:
+    """Exec generated DSL source with a linecache entry so the ``@proc``
+    parser (which reads source via ``inspect``) can see it."""
+    filename = f"<rvv-lib:{tag}>"
+    linecache.cache[filename] = (
+        len(source),
+        None,
+        source.splitlines(True),
+        filename,
+    )
+    namespace: dict = {}
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace
+
+
+_LIB_CACHE: Dict[tuple, dict] = {}
+
+
+def make_rvv_f32_lib(
+    vlen_bits: int,
+    avl: Optional[int] = None,
+    load_latency: int = 4,
+    fma_latency: int = 4,
+) -> dict:
+    """Build the f32 RVV instruction library for one (VLEN, AVL) pair.
+
+    ``avl`` narrows the active vector length below ``VLEN/32`` — the VLA
+    tail mechanism: the *same* hardware instructions run with a smaller
+    ``vsetvl`` result, no masking or padding required.  Latencies default
+    to a short-pipeline OoO core and can be overridden per machine.
+    """
+    lanes = vlen_bits // 32
+    avl = lanes if avl is None else avl
+    key = (vlen_bits, avl, load_latency, fma_latency)
+    if key in _LIB_CACHE:
+        return _LIB_CACHE[key]
+
+    mem = rvv_memory(vlen_bits, avl)
+    vl_var = f"vl{avl}"
+    register_isa_codegen(
+        mem.name,
+        IsaEmitInfo(
+            header="#include <riscv_vector.h>",
+            prelude=(f"const size_t {vl_var} = __riscv_vsetvl_e32m1({avl});",),
+            extra_holes=(("vl", vl_var),),
+        ),
+    )
+
+    prefix = f"rvv{vlen_bits}_" if avl == lanes else f"rvv{vlen_bits}vl{avl}_"
+    ns = _exec_dsl_source(
+        _SOURCE_TEMPLATE.format(p=prefix, L=avl, MEM=mem.name),
+        f"{vlen_bits}-vl{avl}",
+    )
+
+    def mk(name: str, c_instr: str, pipe: str, latency: int):
+        return instr(c_instr, pipe=pipe, latency=latency)(ns[prefix + name])
+
+    load = mk(
+        "vle32",
+        "{dst_data} = __riscv_vle32_v_f32m1(&{src_data}, {vl});",
+        "load",
+        load_latency,
+    )
+    store = mk(
+        "vse32",
+        "__riscv_vse32_v_f32m1(&{dst_data}, {src_data}, {vl});",
+        "store",
+        1,
+    )
+    fma = mk(
+        "vfmacc_vv",
+        "{dst_data} = __riscv_vfmacc_vv_f32m1({dst_data}, {lhs_data}, {rhs_data}, {vl});",
+        "fma",
+        fma_latency,
+    )
+    fma_vf = mk(
+        "vfmacc_vf",
+        "{dst_data} = __riscv_vfmacc_vf_f32m1({dst_data}, {rhs_data}, {lhs_data}, {vl});",
+        "fma",
+        fma_latency,
+    )
+    broadcast = mk(
+        "vfmv_v_f",
+        "{dst_data} = __riscv_vfmv_v_f_f32m1({src_data}, {vl});",
+        "load",
+        load_latency,
+    )
+    zero = mk(
+        "vmv_zero",
+        "{dst_data} = __riscv_vfmv_v_f_f32m1(0.0f, {vl});",
+        "alu",
+        1,
+    )
+    mul = mk(
+        "vfmul_vv",
+        "{dst_data} = __riscv_vfmul_vv_f32m1({lhs_data}, {rhs_data}, {vl});",
+        "fma",
+        fma_latency,
+    )
+    add = mk(
+        "vfadd_vv",
+        "{dst_data} = __riscv_vfadd_vv_f32m1({lhs_data}, {rhs_data}, {vl});",
+        "fma",
+        max(2, fma_latency - 2),
+    )
+
+    lib = {
+        "load": load,
+        "store": store,
+        "fmla_lane": None,  # VLA ISAs have no lane-selecting FMA
+        "fma": fma,
+        "fma_vf": fma_vf,  # scalar-operand FMA: fused broadcast (vfmacc.vf)
+        "broadcast": broadcast,
+        "zero": zero,
+        "mul": mul,
+        "add": add,
+        "lanes": avl,
+        "memory": mem,
+        "dtype": "f32",
+        "vla": True,
+        "vlen_bits": vlen_bits,
+    }
+    _LIB_CACHE[key] = lib
+    return lib
+
+
+def rvv_lib_factory(
+    vlen_bits: int, load_latency: int = 4, fma_latency: int = 4
+) -> Callable[[int], dict]:
+    """A per-machine closure mapping AVL -> instruction library.
+
+    This is what the generator's VLA path consumes: the full-width library
+    for the body tiles plus reduced-AVL libraries for ragged tails.
+    """
+
+    def factory(avl: Optional[int] = None) -> dict:
+        return make_rvv_f32_lib(
+            vlen_bits,
+            avl=avl,
+            load_latency=load_latency,
+            fma_latency=fma_latency,
+        )
+
+    return factory
+
+
+#: VLEN=128 profile: a dual-issue in-order edge core with a 64-bit vector
+#: datapath (two "chimes" per vector op) and a longer FMA pipeline.
+RVV128_F32_LIB = make_rvv_f32_lib(128, load_latency=4, fma_latency=6)
+
+#: VLEN=256 profile: a wide OoO application core, full-width datapath.
+RVV256_F32_LIB = make_rvv_f32_lib(256, load_latency=5, fma_latency=4)

@@ -1,0 +1,212 @@
+"""The ISA target registry: the backend plug-in contract.
+
+The paper's portability claim (Section III-C) is that retargeting the
+generator is *only* a matter of supplying a machine/instruction
+description.  This module makes that contract explicit: an
+:class:`IsaTarget` bundles everything the rest of the system needs to run
+on one ISA —
+
+* the instruction **library** dict (Figure-3-style ``@instr`` procedures
+  plus ``lanes`` / ``memory`` / ``dtype`` metadata), loaded lazily so that
+  selecting one backend never imports the others' modules,
+* the **machine** model (pipes, latencies, caches) for the simulators,
+* the register-tile **family** evaluated by kernel selection, derived
+  from the vector length so every family shape is generable, and
+* for VLA ISAs, a **lib_factory** mapping an active vector length to a
+  narrowed library (the ``vsetvl`` tail path).
+
+``repro.ukernel.registry`` and ``repro.eval`` resolve targets through
+this table instead of importing any ISA module directly, so adding a
+backend (see ``docs/backends.md``) never touches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .machine import (
+    AVX512_SERVER,
+    CARMEL,
+    MachineModel,
+    RVV_EDGE_VLEN128,
+    RVV_SERVER_VLEN256,
+)
+
+__all__ = [
+    "IsaTarget",
+    "ISA_TARGETS",
+    "family_for_lanes",
+    "register_isa_target",
+    "target",
+    "target_for_machine",
+]
+
+
+def _tile_registers(mr: int, nr: int, lanes: int) -> int:
+    """Vector registers an (mr, nr) tile needs: the C accumulators plus
+    one register per A row-group and per B column-group (the paper's
+    8x12 Neon budget: 24 + 2 + 3 = 29 of 32)."""
+    rows = max(1, mr // lanes)
+    return nr * rows + rows + max(1, nr // lanes)
+
+
+def family_for_lanes(
+    lanes: int, vector_registers: int = 32
+) -> Tuple[Tuple[int, int], ...]:
+    """The register-tile family for a vector length, closed under
+    height x width combination so any (m, n) plane decomposes.
+
+    Candidate heights are {2*lanes, lanes, 1} and widths
+    {3*lanes, 2*lanes, lanes}; the tallest height, then the widest
+    width, are dropped until the largest tile of the grid fits the
+    architectural register file — wide ISAs cannot afford the full
+    grid (on 8 lanes a (16, 24) C tile alone is 48 registers).
+
+    For lanes=4 nothing is dropped and this reproduces the paper's
+    Figure 13/15 family exactly ((8, 12) main tile, 29 of 32
+    registers, down to the 1-row kernels).
+    """
+    heights = [2 * lanes, lanes, 1]
+    widths = [3 * lanes, 2 * lanes, lanes]
+    while _tile_registers(heights[0], widths[0], lanes) > vector_registers:
+        if len(heights) > 2:
+            heights.pop(0)
+        elif len(widths) > 1:
+            widths.pop(0)
+        else:
+            break
+    return tuple((h, w) for h in heights for w in widths)
+
+
+@dataclass(eq=False)
+class IsaTarget:
+    """One retargeting of the pipeline: library + machine + tile family.
+
+    Either ``lib`` (an already-built library dict) or ``load_lib`` (a
+    zero-argument loader, deferred until first use) must be provided.
+    """
+
+    name: str
+    machine: MachineModel
+    family: Tuple[Tuple[int, int], ...]
+    lib_value: Optional[dict] = None
+    load_lib: Optional[Callable[[], dict]] = None
+    load_factory: Optional[Callable[[], Callable]] = None
+    _factory: Optional[Callable] = field(default=None, repr=False)
+
+    @property
+    def lib(self) -> dict:
+        if self.lib_value is None:
+            if self.load_lib is None:
+                raise ValueError(f"target {self.name!r} has no library")
+            self.lib_value = self.load_lib()
+        return self.lib_value
+
+    @property
+    def lib_factory(self) -> Optional[Callable[[Optional[int]], dict]]:
+        """AVL -> library closure for VLA targets, None elsewhere."""
+        if self._factory is None and self.load_factory is not None:
+            self._factory = self.load_factory()
+        return self._factory
+
+    @property
+    def vla(self) -> bool:
+        return bool(self.lib.get("vla"))
+
+    @property
+    def main_tile(self) -> Tuple[int, int]:
+        return self.family[0]
+
+
+ISA_TARGETS: Dict[str, IsaTarget] = {}
+
+
+def register_isa_target(target: IsaTarget) -> IsaTarget:
+    """Add a backend to the registry (last registration of a name wins)."""
+    ISA_TARGETS[target.name] = target
+    return target
+
+
+def target(name: str) -> IsaTarget:
+    t = ISA_TARGETS.get(name.lower())
+    if t is None:
+        raise KeyError(
+            f"unknown ISA target {name!r}; registered: {sorted(ISA_TARGETS)}"
+        )
+    return t
+
+
+def target_for_machine(machine: MachineModel) -> IsaTarget:
+    """The target a machine executes, via its ``isa`` tag."""
+    return target(machine.isa)
+
+
+def _load_neon() -> dict:
+    from .neon import NEON_F32_LIB
+
+    return NEON_F32_LIB
+
+
+def _load_avx512() -> dict:
+    from .avx512 import AVX512_F32_LIB
+
+    return AVX512_F32_LIB
+
+
+def _rvv_loader(vlen_bits: int, load_latency: int, fma_latency: int):
+    def load() -> dict:
+        from .rvv import make_rvv_f32_lib
+
+        return make_rvv_f32_lib(
+            vlen_bits, load_latency=load_latency, fma_latency=fma_latency
+        )
+
+    return load
+
+
+def _rvv_factory_loader(vlen_bits: int, load_latency: int, fma_latency: int):
+    def load() -> Callable:
+        from .rvv import rvv_lib_factory
+
+        return rvv_lib_factory(
+            vlen_bits, load_latency=load_latency, fma_latency=fma_latency
+        )
+
+    return load
+
+
+register_isa_target(
+    IsaTarget(
+        name="neon",
+        machine=CARMEL,
+        family=family_for_lanes(4),
+        load_lib=_load_neon,
+    )
+)
+register_isa_target(
+    IsaTarget(
+        name="avx512",
+        machine=AVX512_SERVER,
+        family=family_for_lanes(16),
+        load_lib=_load_avx512,
+    )
+)
+register_isa_target(
+    IsaTarget(
+        name="rvv128",
+        machine=RVV_EDGE_VLEN128,
+        family=family_for_lanes(4),
+        load_lib=_rvv_loader(128, load_latency=4, fma_latency=6),
+        load_factory=_rvv_factory_loader(128, load_latency=4, fma_latency=6),
+    )
+)
+register_isa_target(
+    IsaTarget(
+        name="rvv256",
+        machine=RVV_SERVER_VLEN256,
+        family=family_for_lanes(8),
+        load_lib=_rvv_loader(256, load_latency=5, fma_latency=4),
+        load_factory=_rvv_factory_loader(256, load_latency=5, fma_latency=4),
+    )
+)

@@ -219,16 +219,25 @@ class PipelineModel:
                         start = max(start, ready[key])
                     elif src in ready:
                         start = max(start, ready[src])
+                # vector ops occupy their unit for the machine's chime
+                # count (RVV cores with a datapath narrower than VLEN)
+                chime = (
+                    machine.vector_chime if op.pipe in VECTOR_PIPES else 1
+                )
                 cycle = start
                 while not self._can_issue(
-                    cycle, op, machine, vec_width, pipe_busy, vec_busy, issue_busy
+                    cycle, op, chime, machine, vec_width,
+                    pipe_busy, vec_busy, issue_busy,
                 ):
                     cycle += 1
-                pipe_busy[(cycle, op.pipe)] = pipe_busy.get((cycle, op.pipe), 0) + 1
-                if op.pipe in VECTOR_PIPES:
-                    vec_busy[cycle] = vec_busy.get(cycle, 0) + 1
+                for cc in range(cycle, cycle + chime):
+                    pipe_busy[(cc, op.pipe)] = (
+                        pipe_busy.get((cc, op.pipe), 0) + 1
+                    )
+                    if op.pipe in VECTOR_PIPES:
+                        vec_busy[cc] = vec_busy.get(cc, 0) + 1
                 issue_busy[cycle] = issue_busy.get(cycle, 0) + 1
-                done = cycle + op.latency
+                done = cycle + (chime - 1) + op.latency
                 if op.dest is not None:
                     if op.accumulate:
                         ready[op.dest] = done
@@ -242,11 +251,14 @@ class PipelineModel:
         return (iter_finish[hi] - iter_finish[lo]) / (hi - lo)
 
     @staticmethod
-    def _can_issue(cycle, op, machine, vec_width, pipe_busy, vec_busy, issue_busy):
-        if pipe_busy.get((cycle, op.pipe), 0) >= machine.pipe_count(op.pipe):
-            return False
-        if op.pipe in VECTOR_PIPES and vec_busy.get(cycle, 0) >= vec_width:
-            return False
+    def _can_issue(
+        cycle, op, chime, machine, vec_width, pipe_busy, vec_busy, issue_busy
+    ):
+        for cc in range(cycle, cycle + chime):
+            if pipe_busy.get((cc, op.pipe), 0) >= machine.pipe_count(op.pipe):
+                return False
+            if op.pipe in VECTOR_PIPES and vec_busy.get(cc, 0) >= vec_width:
+                return False
         if issue_busy.get(cycle, 0) >= machine.issue_width:
             return False
         return True
@@ -264,7 +276,11 @@ class PipelineModel:
         """
         per_iter = self.steady_cycles_per_iter(trace)
         vec_width = self._dispatch_width()
-        edge = (trace.prologue_vector_ops + trace.epilogue_vector_ops) / vec_width
+        edge = (
+            (trace.prologue_vector_ops + trace.epilogue_vector_ops)
+            * self.machine.vector_chime
+            / vec_width
+        )
         return kc * per_iter + edge + call_overhead + trace.extra_call_cycles
 
     def kernel_gflops(

@@ -62,7 +62,7 @@ class TimingModel:
         vec = self.pipeline._dispatch_width()
         edge = (
             timing.trace.prologue_vector_ops + timing.trace.epilogue_vector_ops
-        ) / vec
+        ) * self.machine.vector_chime / vec
         return (
             kc * timing.cycles_per_iter
             + edge

@@ -63,6 +63,52 @@ def tile_cover(
     return cover
 
 
+def decompose_extent_vla(extent: int, lanes: int) -> List[int]:
+    """Exact cover of ``extent`` on a vector-length-agnostic ISA.
+
+    Where :func:`decompose_extent` must pad a ragged remainder to the
+    smallest kernel size (the packed-SIMD reality), a VLA ISA re-runs the
+    same instructions with ``vsetvl`` narrowed to the remainder — the
+    predicated tail path.  The cover is therefore exact: full-lane chunks
+    plus at most one chunk of ``extent % lanes``.
+    """
+    if extent <= 0:
+        raise ValueError(f"extent must be positive, got {extent}")
+    if lanes <= 0:
+        raise ValueError(f"lanes must be positive, got {lanes}")
+    chunks = [lanes] * (extent // lanes)
+    if extent % lanes:
+        chunks.append(extent % lanes)
+    return chunks
+
+
+def vla_tile_cover(
+    m: int,
+    n: int,
+    mr: int,
+    nr: int,
+) -> Dict[Tuple[int, int], int]:
+    """Tile classes covering an (m, n) plane on a VLA ISA — exact area.
+
+    Rows decompose into ``mr``-high panels plus a reduced-vl tail of
+    ``m % mr`` rows (any height is runnable, since the row dimension is
+    the vectorized one and ``vsetvl`` handles the remainder); columns
+    decompose into ``nr``-wide panels plus an ``n % nr`` tail, legal for
+    any width because the broadcast schedule never vectorizes j.  Unlike
+    :func:`tile_cover` no family membership constraint applies: every
+    (height, width) class the decomposition produces is generable (via
+    :func:`repro.ukernel.generator.generate_vla_microkernel` when the
+    height is not a lane multiple).
+    """
+    m_chunks = Counter(decompose_extent_vla(m, mr))
+    n_chunks = Counter(decompose_extent_vla(n, nr))
+    cover: Dict[Tuple[int, int], int] = {}
+    for h, mcount in m_chunks.items():
+        for w, ncount in n_chunks.items():
+            cover[(h, w)] = mcount * ncount
+    return cover
+
+
 def monolithic_cover(m: int, n: int, mr: int, nr: int) -> int:
     """Tiles a single (mr, nr) kernel needs to cover the plane (padded)."""
     return math.ceil(m / mr) * math.ceil(n / nr)

@@ -22,7 +22,7 @@ Two pieces the paper describes but does not spell out:
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.core import DRAM, Procedure, proc
 from repro.core.scheduling import (
@@ -38,10 +38,9 @@ from repro.core.scheduling import (
     stage_mem,
     unroll_loop,
 )
-from repro.isa.neon import NEON_F32_LIB
-
 from .generator import (
     GeneratedKernel,
+    _default_lib,
     _schedule_packed,
     make_scaled_reference_kernel,
 )
@@ -72,7 +71,7 @@ def make_nopack_reference_kernel() -> Procedure:
 
 
 def generate_nopack_microkernel(
-    mr: int, nr: int, lib: dict = NEON_F32_LIB
+    mr: int, nr: int, lib: Optional[dict] = None
 ) -> GeneratedKernel:
     """Generate the non-packed kernel of Section III-B.
 
@@ -80,6 +79,7 @@ def generate_nopack_microkernel(
     natural row-major layout.  Requires ``nr`` divisible by the vector
     length; ``mr`` is unconstrained (the i loop is never split).
     """
+    lib = lib if lib is not None else _default_lib()
     lanes = lib["lanes"]
     if nr % lanes != 0:
         raise ValueError(
@@ -156,7 +156,7 @@ def generate_nopack_microkernel(
 
 
 def generate_scaled_microkernel(
-    mr: int, nr: int, lib: dict = NEON_F32_LIB
+    mr: int, nr: int, lib: Optional[dict] = None
 ) -> GeneratedKernel:
     """Generate the full Figure 4 kernel: ``C = beta*C + alpha*Ac@Bc``.
 
@@ -166,6 +166,7 @@ def generate_scaled_microkernel(
     vector multiply; the outer-product core reuses the packed Section III
     schedule against the staged temporaries.
     """
+    lib = lib if lib is not None else _default_lib()
     lanes = lib["lanes"]
     if mr % lanes or nr % lanes:
         raise ValueError(

@@ -44,7 +44,13 @@ from repro.core.scheduling import (
     stage_mem,
     unroll_loop,
 )
-from repro.isa.neon import NEON_F32_LIB
+def _default_lib() -> dict:
+    """The historical default target (lazy so non-Neon stacks never import
+    the Neon library — retargeting must not depend on it)."""
+    from repro.isa.neon import NEON_F32_LIB
+
+    return NEON_F32_LIB
+
 
 # ---------------------------------------------------------------------------
 # Reference kernels (Figures 4 and 5)
@@ -155,7 +161,7 @@ class GeneratedKernel:
 def generate_microkernel(
     mr: int,
     nr: int,
-    lib: dict = NEON_F32_LIB,
+    lib: Optional[dict] = None,
     variant: str = "auto",
     base: Optional[Procedure] = None,
 ) -> GeneratedKernel:
@@ -165,6 +171,7 @@ def generate_microkernel(
     a multiple of the vector length), "broadcast" (any ``mr``), or "auto"
     (packed when possible, else broadcast — the paper's edge-case recipe).
     """
+    lib = lib if lib is not None else _default_lib()
     lanes = lib["lanes"]
     if variant == "auto":
         if mr % lanes == 0 and nr % lanes == 0 and lib["fmla_lane"]:
@@ -307,8 +314,14 @@ def _schedule_broadcast(
     and combined with the plain vector FMA.  This serves two cases the lane
     schedule cannot: NR not a multiple of the vector length, and ISAs with
     no lane-selecting FMA (AVX-512).
+
+    ISAs whose FMA takes a scalar operand directly (RVV's ``vfmacc.vf``,
+    exposed as the ``fma_vf`` library slot) skip the B staging entirely:
+    the broadcast is fused into the FMA, saving one vector op and one
+    register per j step.
     """
     lanes = lib["lanes"]
+    fused_vf = lib.get("fma_vf") is not None
 
     # v2 -- only i is split to the vector length
     p = divide_loop(p, "i", lanes, ["it", "itt"], perfect=True)
@@ -329,6 +342,7 @@ def _schedule_broadcast(
     steps["v3_c_registers"] = p
 
     # v4 -- A panel through vector loads; B elements broadcast per j
+    # (or left in memory for the fused scalar-operand FMA)
     p = bind_expr(p, "Ac[_]", "A_reg")
     p = expand_dim(p, "A_reg", lanes, "itt")
     p = expand_dim(p, "A_reg", mr // lanes, "it")
@@ -337,16 +351,20 @@ def _schedule_broadcast(
     p = replace(p, "for itt in _: _", lib["load"])
     p = set_memory(p, "A_reg", lib["memory"])
 
-    p = bind_expr(p, "Bc[_]", "B_reg")
-    p = expand_dim(p, "B_reg", lanes, "itt")
-    p = lift_alloc(p, "B_reg", n_lifts=4)
-    p = autofission(p, p.find("B_reg[_] = _").after(), n_lifts=2)
-    p = replace(p, "for itt in _: _", lib["broadcast"])
-    p = set_memory(p, "B_reg", lib["memory"])
+    if not fused_vf:
+        p = bind_expr(p, "Bc[_]", "B_reg")
+        p = expand_dim(p, "B_reg", lanes, "itt")
+        p = lift_alloc(p, "B_reg", n_lifts=4)
+        p = autofission(p, p.find("B_reg[_] = _").after(), n_lifts=2)
+        p = replace(p, "for itt in _: _", lib["broadcast"])
+        p = set_memory(p, "B_reg", lib["memory"])
     steps["v4_ab_registers"] = p
 
-    # v5 -- full-vector FMA
-    p = replace(p, "for itt in _: _", lib["fma"])
+    # v5 -- full-vector FMA (fused broadcast-FMA when the ISA has one)
+    if fused_vf:
+        p = replace(p, "for itt in _: _", lib["fma_vf"])
+    else:
+        p = replace(p, "for itt in _: _", lib["fma"])
     p = simplify(p)
     steps["v5_fma"] = p
 
@@ -425,8 +443,90 @@ def _retype_reference(reference: Procedure, dtype: str) -> Procedure:
 
 
 def generate_all_steps(
-    mr: int = 8, nr: int = 12, lib: dict = NEON_F32_LIB
+    mr: int = 8, nr: int = 12, lib: Optional[dict] = None
 ) -> List[Tuple[str, Procedure]]:
     """The full v1..v6 sequence for display (the paper's Section III demo)."""
     kernel = generate_microkernel(mr, nr, lib)
     return list(kernel.steps.items())
+
+
+# ---------------------------------------------------------------------------
+# Vector-length-agnostic (VLA) tiles
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class VlaKernelPlan:
+    """An ``mr x nr`` register tile realized on a VLA ISA.
+
+    On Neon or AVX-512 an MR that is not a multiple of the vector length
+    forces padded work or a scalar tail.  A VLA ISA (RVV) instead re-runs
+    the *same* instructions with ``vsetvl`` narrowed to the remainder, so
+    the tile splits by rows into full-width parts plus one reduced-AVL
+    tail part — every flop useful, no masking.
+
+    Attributes:
+        parts: ``(row_offset, kernel)`` pairs; each kernel computes rows
+            ``[row_offset, row_offset + kernel.mr)`` of the tile.
+        mr, nr: the logical tile shape the parts cover.
+        lanes: full vector length of the target.
+    """
+
+    parts: List[Tuple[int, GeneratedKernel]]
+    mr: int
+    nr: int
+    lanes: int
+
+    @property
+    def tail(self) -> Optional[GeneratedKernel]:
+        """The reduced-AVL part, if the tile needed one (the 1-row tile
+        takes the full-width row schedule instead, so it has no tail)."""
+        kernel = self.parts[-1][1]
+        return kernel if kernel.lanes != self.lanes else None
+
+    def flops_per_k(self) -> int:
+        return 2 * self.mr * self.nr
+
+    def interpret(self, kc, ac, bc, c) -> None:
+        """Run every part on the matching column slice of Ac and C."""
+        for off, kernel in self.parts:
+            hi = off + kernel.mr
+            kernel.proc.interpret(kc, ac[:, off:hi], bc, c[:, off:hi])
+
+
+def generate_vla_microkernel(
+    mr: int,
+    nr: int,
+    lib_factory,
+    variant: str = "auto",
+) -> VlaKernelPlan:
+    """Generate an ``mr x nr`` tile for a VLA ISA, any MR.
+
+    ``lib_factory(avl)`` must return an instruction library specialized to
+    an active vector length (see :func:`repro.isa.rvv.rvv_lib_factory`).
+    Rows split into full-vector-length body parts plus one tail part whose
+    library is specialized to the remainder — the ``vsetvl`` predication
+    path, modelled exactly as RVV hardware executes it.
+    """
+    full_lib = lib_factory(None)
+    lanes = full_lib["lanes"]
+    if variant == "auto" and mr == 1 and nr % lanes == 0:
+        # the 1-row tail vectorizes along j at full width (row schedule)
+        # rather than degenerating to a 1-lane vsetvl
+        kernel = generate_microkernel(1, nr, full_lib)
+        return VlaKernelPlan(
+            parts=[(0, kernel)], mr=mr, nr=nr, lanes=lanes
+        )
+    parts: List[Tuple[int, GeneratedKernel]] = []
+    body_rows = (mr // lanes) * lanes
+    if body_rows:
+        parts.append(
+            (0, generate_microkernel(body_rows, nr, full_lib, variant=variant))
+        )
+    tail = mr % lanes
+    if tail:
+        tail_lib = lib_factory(tail)
+        parts.append(
+            (body_rows, generate_microkernel(tail, nr, tail_lib, variant=variant))
+        )
+    return VlaKernelPlan(parts=parts, mr=mr, nr=nr, lanes=lanes)

@@ -5,6 +5,12 @@ for each problem ... boils down to evaluating a number of generated
 micro-kernels."  The registry memoizes generated kernels and their pipeline
 timings; :func:`select_kernel_for` ranks candidate register tiles for a
 given GEMM shape using the full timing model and returns the winner.
+
+The registry is ISA-agnostic: the instruction library and the register-tile
+family are injected per machine through the ISA target registry
+(:mod:`repro.isa.targets`) rather than hardcoded — ``registry_for_machine``
+hands back a registry whose family matches the machine's vector length, and
+no Neon module is imported unless the Neon default is actually used.
 """
 
 from __future__ import annotations
@@ -12,34 +18,41 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.isa.neon import NEON_F32_LIB
+from repro.isa.machine import MachineModel
+from repro.isa.targets import family_for_lanes, target_for_machine
 
 from .generator import GeneratedKernel, generate_microkernel
 
 #: the register-tile family evaluated in the paper (Figures 13 and 15),
 #: closed under height x width combinations so any (m, n) plane decomposes
-#: (the paper's runs never needed 1x4; generic shapes may)
-DEFAULT_FAMILY: Tuple[Tuple[int, int], ...] = (
-    (8, 12),
-    (8, 8),
-    (8, 4),
-    (4, 12),
-    (4, 8),
-    (4, 4),
-    (1, 12),
-    (1, 8),
-    (1, 4),
-)
+#: (the paper's runs never needed 1x4; generic shapes may).  This is the
+#: lanes=4 instance of :func:`repro.isa.targets.family_for_lanes`.
+DEFAULT_FAMILY: Tuple[Tuple[int, int], ...] = family_for_lanes(4)
 
 
 @dataclass
 class KernelRegistry:
-    """Memoizing store of generated kernels, keyed by (mr, nr)."""
+    """Memoizing store of generated kernels, keyed by (mr, nr).
 
-    lib: dict = field(default_factory=lambda: NEON_F32_LIB)
+    ``lib`` is the instruction library all kernels target (Neon when
+    omitted, for backward compatibility); ``family_shapes`` the tile
+    family used by selection, derived from the library's vector length
+    when not given.
+    """
+
+    lib: Optional[dict] = None
+    family_shapes: Optional[Tuple[Tuple[int, int], ...]] = None
     _kernels: Dict[Tuple[int, int], GeneratedKernel] = field(
         default_factory=dict
     )
+
+    def __post_init__(self):
+        if self.lib is None:
+            from repro.isa.neon import NEON_F32_LIB
+
+            self.lib = NEON_F32_LIB
+        if self.family_shapes is None:
+            self.family_shapes = family_for_lanes(self.lib["lanes"])
 
     def get(self, mr: int, nr: int) -> GeneratedKernel:
         key = (mr, nr)
@@ -48,8 +61,9 @@ class KernelRegistry:
         return self._kernels[key]
 
     def family(
-        self, shapes: Tuple[Tuple[int, int], ...] = DEFAULT_FAMILY
+        self, shapes: Optional[Tuple[Tuple[int, int], ...]] = None
     ) -> Dict[Tuple[int, int], GeneratedKernel]:
+        shapes = shapes if shapes is not None else self.family_shapes
         return {shape: self.get(*shape) for shape in shapes}
 
     def __contains__(self, shape: Tuple[int, int]) -> bool:
@@ -57,44 +71,72 @@ class KernelRegistry:
 
 
 _default_registry: Optional[KernelRegistry] = None
+_machine_registries: Dict[str, KernelRegistry] = {}
 
 
 def default_registry() -> KernelRegistry:
-    """Process-wide registry so tests and benchmarks share kernels."""
+    """Process-wide Neon registry so tests and benchmarks share kernels."""
     global _default_registry
     if _default_registry is None:
         _default_registry = KernelRegistry()
     return _default_registry
 
 
+def registry_for_machine(machine: MachineModel) -> KernelRegistry:
+    """The shared registry for a machine's ISA target.
+
+    Machines tagged with the same ``isa`` share one registry (and so one
+    set of generated kernels); the Neon target reuses the historical
+    process-wide default registry.
+    """
+    isa = machine.isa
+    if isa == "neon":
+        return default_registry()
+    if isa not in _machine_registries:
+        t = target_for_machine(machine)
+        _machine_registries[isa] = KernelRegistry(
+            lib=t.lib, family_shapes=t.family
+        )
+    return _machine_registries[isa]
+
+
 def select_kernel_for(
     m: int,
     n: int,
     k: int,
-    candidates: Tuple[Tuple[int, int], ...] = DEFAULT_FAMILY,
+    candidates: Optional[Tuple[Tuple[int, int], ...]] = None,
     registry: Optional[KernelRegistry] = None,
+    machine: Optional[MachineModel] = None,
 ):
     """Pick the best main kernel for a GEMM shape by modelled time.
 
     Returns ``(shape, breakdown)`` for the fastest candidate.  This is the
     selection the paper applies in Section IV-B, where specific square
-    sizes favour 8x4 or 8x8 over the default 8x12.
+    sizes favour 8x4 or 8x8 over the default 8x12.  Passing ``machine``
+    ranks on that core with its own ISA library and family — e.g. an RVV
+    machine selects among RVV register tiles.
     """
-    from repro.eval.harness import exo_gemm_breakdown
+    from repro.eval.harness import exo_gemm_breakdown, machine_context
 
-    registry = registry or default_registry()
+    ctx = machine_context(machine) if machine is not None else None
+    if registry is None:
+        registry = ctx.registry if ctx is not None else default_registry()
+    if candidates is None:
+        candidates = registry.family_shapes
     best = None
     for shape in candidates:
         mr, nr = shape
         if mr > m or nr > n:
             continue
         breakdown = exo_gemm_breakdown(
-            m, n, k, main=(mr, nr), registry=registry
+            m, n, k, main=(mr, nr), registry=registry, ctx=ctx
         )
         if best is None or breakdown.total_cycles < best[1].total_cycles:
             best = (shape, breakdown)
     if best is None:
         shape = min(candidates, key=lambda s: s[0] * s[1])
-        breakdown = exo_gemm_breakdown(m, n, k, main=shape, registry=registry)
+        breakdown = exo_gemm_breakdown(
+            m, n, k, main=shape, registry=registry, ctx=ctx
+        )
         best = (shape, breakdown)
     return best

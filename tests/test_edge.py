@@ -8,9 +8,11 @@ from hypothesis import strategies as st
 
 from repro.ukernel.edge import (
     decompose_extent,
+    decompose_extent_vla,
     monolithic_cover,
     tile_cover,
     useful_fraction,
+    vla_tile_cover,
 )
 from repro.ukernel.registry import DEFAULT_FAMILY
 
@@ -78,6 +80,66 @@ class TestTileCover:
         # rows decompose exactly (1-row tails exist); the width remainder
         # is padded by at most one 4-wide column of tiles
         assert m * n <= area < m * (n + 4)
+
+
+class TestVlaDecompose:
+    """Predicated tails on vector-length-agnostic ISAs: exact covers."""
+
+    def test_exact_fit(self):
+        assert decompose_extent_vla(16, 4) == [4, 4, 4, 4]
+
+    def test_ragged_tail_not_padded(self):
+        assert decompose_extent_vla(7, 4) == [4, 3]
+        assert decompose_extent_vla(3, 4) == [3]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            decompose_extent_vla(0, 4)
+        with pytest.raises(ValueError):
+            decompose_extent_vla(7, 0)
+
+    @given(st.integers(1, 500), st.integers(1, 16))
+    @settings(max_examples=60)
+    def test_cover_always_exact(self, extent, lanes):
+        chunks = decompose_extent_vla(extent, lanes)
+        assert sum(chunks) == extent
+        assert all(0 < c <= lanes for c in chunks)
+        # at most one reduced-vl tail, and it comes last
+        short = [c for c in chunks if c < lanes]
+        assert len(short) <= 1
+        if short:
+            assert chunks[-1] == short[0]
+
+
+class TestVlaTileCover:
+    def test_exact_area_no_family_constraint(self):
+        cover = vla_tile_cover(49, 500, 8, 12)
+        area = sum(h * w * c for (h, w), c in cover.items())
+        assert area == 49 * 500
+        # the ragged classes exist without being family members
+        assert (1, 12) in cover and (8, 8) in cover
+
+    def test_lane_multiple_plane_single_class(self):
+        assert vla_tile_cover(16, 24, 8, 12) == {(8, 12): 4}
+
+    @given(st.integers(1, 300), st.integers(1, 300))
+    @settings(max_examples=40)
+    def test_area_exact_everywhere(self, m, n):
+        cover = vla_tile_cover(m, n, 8, 12)
+        area = sum(h * w * c for (h, w), c in cover.items())
+        assert area == m * n
+
+    def test_tail_classes_runnable(self):
+        """Every cover class is generable: lane-multiple heights directly,
+        ragged heights via the VLA plan."""
+        from repro.isa.rvv import rvv_lib_factory
+        from repro.ukernel.generator import generate_vla_microkernel
+
+        factory = rvv_lib_factory(128)
+        cover = vla_tile_cover(11, 14, 8, 12)
+        for h, w in cover:
+            plan = generate_vla_microkernel(h, w, factory)
+            assert sum(k.mr for _, k in plan.parts) == h
 
 
 class TestMonolithic:

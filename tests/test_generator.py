@@ -149,6 +149,51 @@ class TestOtherTargets:
         with pytest.raises(ValueError, match="lane"):
             generate_microkernel(16, 16, AVX512_F32_LIB, variant="packed")
 
+    def test_rvv_broadcast_fuses_splat(self):
+        from repro.isa.rvv import RVV128_F32_LIB
+
+        kernel = generate_microkernel(8, 12, RVV128_F32_LIB)
+        assert kernel.variant == "broadcast"
+        text = str(kernel.proc)
+        assert "vfmacc_vf" in text and "B_reg" not in text
+        run_kernel(kernel)
+
+    def test_avx512_broadcast_still_stages_b(self):
+        # ISAs without a scalar-operand FMA keep the splat register
+        kernel = generate_microkernel(16, 6, AVX512_F32_LIB)
+        text = str(kernel.proc)
+        assert "B_reg" in text and "mm512_set1_ps" in text
+
+    def test_default_lib_is_lazy_neon(self):
+        kernel = generate_microkernel(4, 4)
+        assert "neon_" in str(kernel.proc)
+
+
+class TestVlaGeneration:
+    """MR not a multiple of the vector length on a VLA ISA (RVV)."""
+
+    def test_ragged_plan_parts(self):
+        from repro.isa.rvv import rvv_lib_factory
+        from repro.ukernel.generator import generate_vla_microkernel
+
+        plan = generate_vla_microkernel(7, 12, rvv_lib_factory(128))
+        assert [(off, k.mr) for off, k in plan.parts] == [(0, 4), (4, 3)]
+        assert plan.flops_per_k() == 2 * 7 * 12
+
+    def test_ragged_plan_semantics(self):
+        from repro.isa.rvv import rvv_lib_factory
+        from repro.ukernel.generator import generate_vla_microkernel
+
+        plan = generate_vla_microkernel(5, 8, rvv_lib_factory(256))
+        kc = 4
+        rng = np.random.default_rng(2)
+        ac = rng.random((kc, 5), dtype=np.float32)
+        bc = rng.random((kc, 8), dtype=np.float32)
+        c = np.zeros((8, 5), dtype=np.float32)
+        expected = (ac.astype(np.float64).T @ bc.astype(np.float64)).T
+        plan.interpret(kc, ac, bc, c)
+        np.testing.assert_allclose(c, expected, rtol=1e-5, atol=1e-6)
+
 
 class TestScaledReference:
     def test_alpha_beta_semantics(self):
