@@ -23,7 +23,7 @@ from repro.eval.harness import (
 )
 from repro.isa.machine import CARMEL
 from repro.isa.neon_fp16 import NEON_F16_LIB
-from repro.sim.pipeline import PipelineModel, trace_from_kernel
+from repro.sim.pipeline import trace_from_kernel
 from repro.sim.timing import solo_kernel_gflops
 from repro.ukernel.generator import generate_microkernel
 

@@ -9,7 +9,6 @@ near-linearly, the thin problem saturates against the shared DRAM stream.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.blis.params import analytical_tile_params, clamp_tiles
 from repro.sim.memory import GemmShape

@@ -1,15 +1,23 @@
-"""Ablation: analytical tile model vs exhaustive search (paper Section II-C).
+"""Tuning benchmarks: the analytical-model ablation, and the tune cache.
 
 The paper's stance — following Low et al. [9] — is that analytical
-modelling replaces auto-tuning for tile-parameter selection.  This
+modelling replaces auto-tuning for tile-parameter selection.  The first
 benchmark runs both inside our timing substrate: a ~340-point grid search
 over (mc, kc, nc) against the closed-form parameters, on the largest
 square size of Figure 14.  The closed form must land within a few percent
 of the exhaustive optimum while evaluating a single candidate.
+
+The second benchmark covers the other half of the paper's optimization
+story — ranking generated micro-kernels per GEMM shape — as performed by
+``repro.tune``: a cold sweep populates the persistent timing cache, and
+the benchmarked warm sweep answers entirely from the JSON artifact/cache,
+performing zero modelled-timing evaluations, instead of re-ranking
+candidates inline the way ``select_kernel_for`` does uncached.
 """
 
 from __future__ import annotations
 
+from repro import tune
 from repro.blis.tuning import analytical_result, grid_search_tiles
 from repro.sim.memory import GemmShape
 
@@ -36,3 +44,16 @@ def test_analytical_modeling_is_enough(benchmark, ctx):
     assert closed.gflops > 0.97 * tuned.gflops
     assert closed.evaluated == 1
     assert tuned.evaluated > 300
+
+
+def test_tune_artifact_replaces_inline_ranking(benchmark, tmp_path):
+    problems = ((256, 256, 256), (512, 512, 512))
+    cache = tune.TuneCache(tmp_path / "tunecache")
+    cold = tune.sweep(("neon",), problems, cache=cache)
+    tune.reset_breakdown_calls()
+
+    warm = benchmark(lambda: tune.sweep(("neon",), problems, cache=cache))
+
+    # the warm sweep is pure artifact consumption: no timing model runs
+    assert tune.breakdown_calls() == 0
+    assert warm["machines"]["neon"]["best"] == cold["machines"]["neon"]["best"]

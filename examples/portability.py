@@ -34,7 +34,7 @@ from repro.isa.machine import (
 from repro.isa.neon import NEON_F32_LIB
 from repro.isa.neon_fp16 import NEON_F16_LIB
 from repro.isa.rvv import RVV128_F32_LIB, RVV256_F32_LIB
-from repro.sim.pipeline import PipelineModel, trace_from_kernel
+from repro.sim.pipeline import trace_from_kernel
 from repro.sim.timing import solo_kernel_gflops
 
 

@@ -16,7 +16,6 @@ observes, and this model encodes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.sim.pipeline import KernelTrace, TraceOp, trace_from_kernel

@@ -18,7 +18,6 @@ edge tiles can run a full-size kernel safely.
 from __future__ import annotations
 
 import math
-from typing import List
 
 import numpy as np
 

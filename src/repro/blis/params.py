@@ -20,8 +20,6 @@ architecture").
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
 
 from repro.isa.machine import CARMEL, MachineModel
 from repro.sim.memory import TileParams

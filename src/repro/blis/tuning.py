@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.isa.machine import CARMEL, MachineModel
 from repro.sim.memory import GemmShape, TileParams

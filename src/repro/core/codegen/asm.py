@@ -14,23 +14,12 @@ the Fig 12 benchmark assert on; the listing itself is for humans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..affine import try_constant
-from ..loopir import (
-    Call,
-    Const,
-    Expr,
-    For,
-    Interval,
-    Point,
-    Proc,
-    Read,
-    Stmt,
-    WindowExpr,
-)
-from ..prelude import CodegenError, Sym
+from ..loopir import Call, Const, Expr, For, Point, Proc, Read, WindowExpr
+from ..prelude import CodegenError
 
 
 @dataclass

@@ -29,7 +29,6 @@ from ..loopir import (
     Const,
     Expr,
     For,
-    Interval,
     Pass,
     Point,
     Proc,
@@ -42,7 +41,7 @@ from ..loopir import (
 )
 from ..memory import DRAM, Memory
 from ..prelude import CodegenError, FreshNamer, Sym
-from ..typesys import ScalarType, TensorType
+from ..typesys import TensorType
 
 @dataclass(frozen=True)
 class IsaEmitInfo:

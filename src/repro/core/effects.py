@@ -29,7 +29,6 @@ from .loopir import (
     Point,
     Read,
     Reduce,
-    Stmt,
     StrideExpr,
     USub,
     WindowExpr,

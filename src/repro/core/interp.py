@@ -31,7 +31,6 @@ from .loopir import (
     Const,
     Expr,
     For,
-    Interval,
     Pass,
     Point,
     Proc,

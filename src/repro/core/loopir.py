@@ -21,7 +21,7 @@ Statements
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace as dc_replace
+from dataclasses import dataclass, replace as dc_replace
 from typing import Optional, Tuple
 
 from .memory import DRAM, Memory

@@ -22,17 +22,7 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .loopir import (
-    Alloc,
-    Assign,
-    Call,
-    For,
-    Pass,
-    Proc,
-    Read,
-    Reduce,
-    Stmt,
-)
+from .loopir import Alloc, Assign, Call, For, Proc, Reduce, Stmt
 from .prelude import PatternError
 
 # ---------------------------------------------------------------------------

@@ -7,7 +7,6 @@ Figures 5–11) is itself valid DSL.  Round-tripping is exercised by tests.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from .loopir import (
     Alloc,
@@ -29,7 +28,7 @@ from .loopir import (
     WindowExpr,
 )
 from .memory import DRAM
-from .prelude import FreshNamer, Sym
+from .prelude import FreshNamer
 from .typesys import TensorType
 
 _PRECEDENCE = {

@@ -8,10 +8,10 @@ of a schedule (the paper's v1..v6 kernels) remain usable side by side.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from . import loopir
-from .affine import try_constant, try_constant_bool
+from .affine import try_constant_bool
 from .loopir import Const, FnArg, Proc, update
 from .parser import parse_function
 from .patterns import StmtCursor, find_stmt

@@ -36,11 +36,11 @@ from ..loopir import (
     update,
 )
 from ..memory import Memory
-from ..patterns import StmtCursor, find_alloc, find_stmt, get_stmt, replace_at
+from ..patterns import find_alloc, find_stmt, get_stmt, replace_at
 from ..prelude import SchedulingError, Sym
 from ..proc import Procedure
 from ..traversal import map_expr, map_stmts, stmt_uses_sym
-from ..typesys import INDEX, ScalarType, TensorType, parse_scalar_type
+from ..typesys import INDEX, TensorType, parse_scalar_type
 from .subst import fold_constants
 
 # ---------------------------------------------------------------------------

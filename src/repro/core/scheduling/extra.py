@@ -22,14 +22,12 @@ from typing import List
 from ..affine import try_constant
 from ..effects import fission_safe
 from ..loopir import (
-    Alloc,
     Assign,
     BinOp,
     Call,
     Const,
     Expr,
     For,
-    Interval,
     Point,
     Read,
     Reduce,
@@ -38,9 +36,9 @@ from ..loopir import (
     update,
 )
 from ..patterns import find_loop, find_stmt, get_stmt, replace_at
-from ..prelude import SchedulingError, Sym
+from ..prelude import SchedulingError
 from ..proc import Procedure
-from ..traversal import alpha_rename, map_expr, map_stmts, subst_stmts
+from ..traversal import alpha_rename, map_stmts, subst_stmts
 from ..typesys import INDEX, TensorType
 from .subst import fold_constants
 

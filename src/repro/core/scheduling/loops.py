@@ -14,28 +14,11 @@ from typing import List, Tuple
 
 from ..affine import try_constant
 from ..effects import fission_safe, reorder_safe
-from ..loopir import (
-    Alloc,
-    Assign,
-    BinOp,
-    Const,
-    For,
-    Proc,
-    Read,
-    Reduce,
-    Stmt,
-    update,
-)
+from ..loopir import Alloc, Assign, BinOp, Const, For, Proc, Read, Reduce, Stmt
 from ..patterns import GapCursor, StmtCursor, find_loop, get_stmt, replace_at
 from ..prelude import SchedulingError, Sym
 from ..proc import Procedure
-from ..traversal import (
-    alpha_rename,
-    free_symbols,
-    map_stmts,
-    stmt_uses_sym,
-    subst_stmts,
-)
+from ..traversal import alpha_rename, free_symbols, stmt_uses_sym, subst_stmts
 from ..typesys import INDEX
 from .subst import fold_constants
 

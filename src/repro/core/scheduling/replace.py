@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..affine import LinExpr, delinearize, exprs_equal, linearize, try_constant
-from ..effects import Bounds, expr_range, loop_bounds_const
+from ..effects import Bounds, expr_range
 from ..loopir import (
     Alloc,
     Assign,
@@ -48,7 +48,7 @@ from ..loopir import (
     update,
 )
 from ..memory import DRAM, GENERIC, Memory
-from ..patterns import find_stmt, get_stmt, replace_at
+from ..patterns import get_stmt, replace_at
 from ..prelude import SchedulingError, Sym
 from ..proc import Procedure
 from ..typesys import INDEX, SIZE, TensorType, types_compatible

@@ -3,21 +3,7 @@
 from __future__ import annotations
 
 from ..affine import simplify_expr, try_constant
-from ..loopir import (
-    Alloc,
-    Assign,
-    BinOp,
-    Call,
-    Const,
-    Expr,
-    For,
-    Pass,
-    Proc,
-    Read,
-    Reduce,
-    USub,
-    update,
-)
+from ..loopir import Alloc, BinOp, Const, Expr, For, Pass, Proc, update
 from ..prelude import SchedulingError
 from ..proc import Procedure
 from ..traversal import map_stmts

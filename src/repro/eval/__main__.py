@@ -21,7 +21,7 @@ from pathlib import Path
 from repro.workloads.resnet50 import RESNET50_LAYERS
 from repro.workloads.vgg16 import VGG16_LAYERS
 
-from .figures import bar_chart, line_chart
+from .figures import bar_chart
 from .harness import (
     default_context,
     fig13_solo_data,
@@ -47,8 +47,8 @@ def _write(outdir: Path, name: str, text: str) -> None:
 
 def run_isa_eval(isa: str, outdir: Path) -> int:
     """The retargeted evaluation for one non-default backend."""
+    from repro import tune
     from repro.isa.targets import target
-    from repro.ukernel.registry import select_kernel_for
 
     t = target(isa)
     ctx = machine_context(t.machine)
@@ -68,13 +68,14 @@ def run_isa_eval(isa: str, outdir: Path) -> int:
         f"({100 * best['peak_frac']:.0f}% of peak)"
     )
 
-    print("Square GEMM sweep with model-driven selection...")
+    print("Square GEMM sweep via repro.tune (cached kernel selection)...")
+    cache = tune.TuneCache(tune.default_cache_root())
+    artifact = tune.sweep((isa,), tune.DEFAULT_SQUARES, cache=cache)
     sq_rows = []
-    for s in (256, 512, 1024, 2048):
-        shape, b = select_kernel_for(s, s, s, machine=t.machine)
+    for m, n, k in tune.DEFAULT_SQUARES:
+        (mr, nr), entry = tune.best_kernel(artifact, isa, m, n, k)
         sq_rows.append(
-            {"size": s, "kernel": f"{shape[0]}x{shape[1]}",
-             "GFLOPS": b.gflops}
+            {"size": m, "kernel": f"{mr}x{nr}", "GFLOPS": entry["gflops"]}
         )
     _write(
         outdir, f"isa_{isa}_square.txt",
@@ -82,6 +83,9 @@ def run_isa_eval(isa: str, outdir: Path) -> int:
             sq_rows, title=f"Square GEMM GFLOPS — {t.machine.name}"
         ),
     )
+    tune.save_artifact(artifact, outdir / f"tune_{isa}.json")
+    print(f"  tune cache: {cache.hits} hits, {cache.misses} misses "
+          f"({cache.root})")
     summary.append(
         f"square: {sq_rows[-1]['GFLOPS']:.1f} GFLOPS at 2048 "
         f"with kernel {sq_rows[-1]['kernel']}"
@@ -169,12 +173,12 @@ def main(argv=None) -> int:
 
     print("Tables I and II (IM2ROW dimensions)...")
     table1 = [
-        {"layer": l.layer_id, "instances": l.instances, "m": l.m, "n": l.n,
-         "k": l.k} for l in RESNET50_LAYERS
+        {"layer": lyr.layer_id, "instances": lyr.instances, "m": lyr.m,
+         "n": lyr.n, "k": lyr.k} for lyr in RESNET50_LAYERS
     ]
     table2 = [
-        {"layer": l.layer_id, "instances": l.instances, "m": l.m, "n": l.n,
-         "k": l.k} for l in VGG16_LAYERS
+        {"layer": lyr.layer_id, "instances": lyr.instances, "m": lyr.m,
+         "n": lyr.n, "k": lyr.k} for lyr in VGG16_LAYERS
     ]
     _write(
         outdir, "tables.txt",

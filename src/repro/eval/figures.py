@@ -8,7 +8,7 @@ into a results directory (see :mod:`repro.eval.__main__`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
 

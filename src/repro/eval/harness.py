@@ -17,7 +17,7 @@ and reports can render them without touching simulator internals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.blis_asm import blis_kernel_model
@@ -34,11 +34,7 @@ from repro.sim.timing import (
     solo_kernel_gflops,
 )
 from repro.ukernel.edge import monolithic_cover, tile_cover, vla_tile_cover
-from repro.ukernel.registry import (
-    KernelRegistry,
-    default_registry,
-    registry_for_machine,
-)
+from repro.ukernel.registry import KernelRegistry, registry_for_machine
 from repro.workloads.resnet50 import RESNET50_LAYERS, resnet50_instances
 from repro.workloads.square import SQUARE_SIZES
 from repro.workloads.vgg16 import VGG16_LAYERS, vgg16_instances

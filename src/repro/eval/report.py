@@ -6,7 +6,7 @@ tables, which is what the benchmark harness captures into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 
 def _format_cell(value) -> str:

@@ -22,6 +22,7 @@ backend (see ``docs/backends.md``) never touches them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -37,10 +38,24 @@ __all__ = [
     "IsaTarget",
     "ISA_TARGETS",
     "family_for_lanes",
+    "machine_fingerprint",
     "register_isa_target",
     "target",
     "target_for_machine",
 ]
+
+
+def machine_fingerprint(machine: MachineModel) -> str:
+    """A short stable digest of a machine model's full parameter set.
+
+    ``MachineModel`` is a frozen dataclass of plain numbers and tuples,
+    so its ``repr`` is a deterministic serialization of every modelled
+    parameter (pipes, latencies, cache geometry, ...).  The persistent
+    tune cache folds this digest into its content hash, so editing any
+    machine parameter automatically invalidates the timings modelled
+    under the old description.
+    """
+    return hashlib.sha256(repr(machine).encode()).hexdigest()[:12]
 
 
 def _tile_registers(mr: int, nr: int, lanes: int) -> int:
@@ -117,6 +132,16 @@ class IsaTarget:
     @property
     def main_tile(self) -> Tuple[int, int]:
         return self.family[0]
+
+    def cache_key_fields(self) -> Dict[str, object]:
+        """The target's identity inside persistent tune-cache keys:
+        the ISA name, the vector length, and the machine fingerprint
+        (so retuning a machine model never reads stale timings)."""
+        return {
+            "isa": self.name,
+            "vlen": self.machine.vector_bits,
+            "machine": machine_fingerprint(self.machine),
+        }
 
 
 ISA_TARGETS: Dict[str, IsaTarget] = {}

@@ -9,8 +9,8 @@ micro-kernels at small sizes and confirm the analytical residency claims
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 
 @dataclass

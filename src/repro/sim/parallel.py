@@ -20,7 +20,7 @@ from typing import List, Optional
 from repro.isa.machine import CARMEL, MachineModel
 
 from .memory import GemmShape, TileParams, memory_cost
-from .timing import ChunkPlan, GemmTimeBreakdown, TimingModel, gemm_time_model
+from .timing import ChunkPlan, TimingModel, gemm_time_model
 
 
 @dataclass

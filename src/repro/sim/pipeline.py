@@ -25,11 +25,11 @@ iterations and differencing completion times across the middle of the run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.codegen.asm import _flatten_calls, _find_k_loop, _window_key
-from repro.core.loopir import Call, Proc, Read, WindowExpr
+from repro.core.loopir import Call, Proc, WindowExpr
 from repro.core.prelude import CodegenError
 from repro.isa.machine import CARMEL, MachineModel
 
@@ -113,7 +113,6 @@ def _op_from_call(call: Call) -> TraceOp:
                 srcs.append(_window_key(actual))
     elif info.pipe == "fma":
         dest = _window_key(call.args[0])
-        from repro.core.traversal import free_symbols  # noqa: F401  (doc aid)
 
         # the first argument of every FMA-class instruction is dst (also read)
         accumulate = _writes_are_reductions(call.proc)
@@ -156,7 +155,6 @@ def _tile_transfer_ops(ir: Proc, kloop) -> Tuple[int, int]:
             if isinstance(s, Call):
                 total += 1
             elif isinstance(s, For):
-                import math
 
                 from repro.core.affine import try_constant
 

@@ -13,13 +13,12 @@ stalls) into the numbers the paper's evaluation plots:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.isa.machine import CARMEL, MachineModel
 
-from .memory import GemmShape, MemoryCost, TileParams, memory_cost
+from .memory import GemmShape, TileParams, memory_cost
 from .pipeline import KernelTrace, PipelineModel
 
 

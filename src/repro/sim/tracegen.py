@@ -13,9 +13,8 @@ traced (the model charges no instruction traffic).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.isa.machine import CARMEL, MachineModel
 

@@ -1,0 +1,156 @@
+"""Parallel autotuning over the generated-kernel search space.
+
+The subsystem behind ``python -m repro.tune``: expand (machine x
+register-tile family x GEMM shape set) into candidate jobs
+(:mod:`repro.tune.space`), evaluate them across worker processes
+(:mod:`repro.tune.executor`), persist every modelled timing in a
+content-hashed on-disk cache (:mod:`repro.tune.cache`), and distill the
+per-(machine, shape) winners into a JSON artifact that the eval harness
+and benchmarks consume instead of re-ranking candidates inline.
+
+:func:`sweep` is the library entry point; winners agree with the serial
+``select_kernel_for`` by construction, because both rank the same
+enumeration with the same ``(total_cycles, tile area, tile)`` order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from .cache import (
+    MODEL_VERSION,
+    TuneCache,
+    TunedBreakdown,
+    activate,
+    active_cache,
+    breakdown_from_record,
+    cache_key,
+    deactivate,
+    default_cache_root,
+    record_from_breakdown,
+    using,
+)
+from .executor import breakdown_calls, reset_breakdown_calls, run_jobs
+from .space import (
+    DEFAULT_SQUARES,
+    TuneJob,
+    candidate_tiles,
+    enumerate_space,
+    enumerate_tiles,
+    fallback_tile,
+    problem_set,
+    rank_key,
+    resolve_isas,
+)
+
+__all__ = [
+    "DEFAULT_SQUARES",
+    "MODEL_VERSION",
+    "TuneCache",
+    "TuneJob",
+    "TunedBreakdown",
+    "activate",
+    "active_cache",
+    "best_kernel",
+    "breakdown_calls",
+    "breakdown_from_record",
+    "cache_key",
+    "candidate_tiles",
+    "deactivate",
+    "default_cache_root",
+    "enumerate_space",
+    "enumerate_tiles",
+    "fallback_tile",
+    "load_artifact",
+    "problem_set",
+    "rank_key",
+    "record_from_breakdown",
+    "reset_breakdown_calls",
+    "resolve_isas",
+    "run_jobs",
+    "save_artifact",
+    "sweep",
+    "using",
+]
+
+#: human-readable form of :func:`repro.tune.space.rank_key`, recorded
+#: in artifacts so a reader knows how winners were ordered
+RANK = "(total_cycles, mr * nr, (mr, nr))"
+
+
+def _problem_id(m: int, n: int, k: int) -> str:
+    return f"{m}x{n}x{k}"
+
+
+def sweep(
+    isas: Iterable[str],
+    problems: Iterable[Tuple[int, int, int]],
+    workers: int = 0,
+    cache: Optional[TuneCache] = None,
+) -> dict:
+    """Tune every (machine, problem) pair and return the winner artifact.
+
+    The artifact is plain JSON data::
+
+        {"model_version": ..., "machines": {isa: {
+            "machine": name, "vlen": bits,
+            "best": {"MxNxK": {"kernel": [mr, nr], "total_cycles": ...,
+                               "gflops": ..., "candidates": count}}}}}
+    """
+    from repro.isa.targets import target
+
+    jobs = enumerate_space(isas, problems)
+    records = run_jobs(jobs, workers=workers, cache=cache)
+
+    best: Dict[Tuple[str, Tuple[int, int, int]], tuple] = {}
+    counts: Dict[Tuple[str, Tuple[int, int, int]], int] = {}
+    for job, record in zip(jobs, records):
+        slot = (job.isa, job.problem)
+        counts[slot] = counts.get(slot, 0) + 1
+        rank = rank_key(record["total_cycles"], job.tile)
+        if slot not in best or rank < best[slot][0]:
+            best[slot] = (rank, job, record)
+
+    machines: Dict[str, dict] = {}
+    for (isa, problem), (_, job, record) in best.items():
+        if isa not in machines:
+            t = target(isa)
+            machines[isa] = {
+                "machine": t.machine.name,
+                "vlen": t.machine.vector_bits,
+                "best": {},
+            }
+        machines[isa]["best"][_problem_id(*problem)] = {
+            "kernel": list(job.tile),
+            "total_cycles": record["total_cycles"],
+            "gflops": record["gflops"],
+            "seconds": breakdown_from_record(record).seconds,
+            "candidates": counts[(isa, problem)],
+        }
+    return {
+        "model_version": MODEL_VERSION,
+        "rank": RANK,
+        "machines": machines,
+    }
+
+
+def best_kernel(
+    artifact: dict, isa: str, m: int, n: int, k: int
+) -> Tuple[Tuple[int, int], dict]:
+    """The tuned winner for one (machine, problem) from an artifact."""
+    entry = artifact["machines"][isa]["best"][_problem_id(m, n, k)]
+    mr, nr = entry["kernel"]
+    return (mr, nr), entry
+
+
+def save_artifact(artifact: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> dict:
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,153 @@
+"""Autotune CLI: ``python -m repro.tune --machines all --workers 4``.
+
+Expands the candidate space for the selected machines and shape set,
+evaluates it across worker processes with the persistent timing cache,
+prints one best-kernel table per machine, and writes the winner artifact
+(default ``out/tune_results.json``) that ``python -m repro.eval`` and
+the benchmarks consume instead of re-ranking candidates inline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.eval.report import render_table
+
+from . import save_artifact, sweep
+from .cache import TuneCache, default_cache_root
+from .executor import breakdown_calls, reset_breakdown_calls
+from .space import problem_set, resolve_isas
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Parallel model-driven micro-kernel tuning.",
+    )
+    parser.add_argument(
+        "--machines",
+        default="all",
+        help="comma-separated ISA target names, or 'all' (default)",
+    )
+    parser.add_argument(
+        "--shapes",
+        default="square",
+        help="'square' (default), 'dnn', 'all', or explicit MxNxK[,...]",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; <=1 evaluates serially in-process",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"timing cache root (default {default_cache_root()})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="evaluate everything, neither reading nor writing the cache",
+    )
+    parser.add_argument(
+        "--out",
+        default="out/tune_results.json",
+        help="winner-artifact path (default out/tune_results.json)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every winner against serial select_kernel_for",
+    )
+    return parser.parse_args(argv)
+
+
+def _verify(artifact, isas, problems) -> int:
+    """Re-rank serially through select_kernel_for and compare winners."""
+    from repro.isa.targets import target
+    from repro.ukernel.registry import select_kernel_for
+
+    mismatches = 0
+    for isa in isas:
+        for m, n, k in problems:
+            shape, _ = select_kernel_for(m, n, k, machine=target(isa).machine)
+            entry = artifact["machines"][isa]["best"][f"{m}x{n}x{k}"]
+            tuned = tuple(entry["kernel"])
+            if tuned != shape:
+                mismatches += 1
+                print(
+                    f"MISMATCH {isa} {m}x{n}x{k}: "
+                    f"tune={tuned} select_kernel_for={shape}",
+                    file=sys.stderr,
+                )
+    if mismatches == 0:
+        print("verify: every winner agrees with serial select_kernel_for")
+    return mismatches
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    try:
+        problems = problem_set(args.shapes)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    isas = [name.strip() for name in args.machines.split(",") if name.strip()]
+    try:
+        isa_names = resolve_isas(isas)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = TuneCache(args.cache_dir or default_cache_root())
+    reset_breakdown_calls()
+    t0 = time.time()
+    artifact = sweep(isa_names, problems, workers=args.workers, cache=cache)
+    elapsed = time.time() - t0
+
+    for isa in isa_names:
+        info = artifact["machines"][isa]
+        rows = []
+        for m, n, k in problems:
+            entry = info["best"][f"{m}x{n}x{k}"]
+            mr, nr = entry["kernel"]
+            rows.append(
+                {
+                    "shape": f"{m}x{n}x{k}",
+                    "kernel": f"{mr}x{nr}",
+                    "GFLOPS": entry["gflops"],
+                    "candidates": entry["candidates"],
+                }
+            )
+        print(render_table(rows, title=f"{isa} — {info['machine']}"))
+        print()
+
+    out = save_artifact(artifact, Path(args.out))
+    n_jobs = sum(
+        entry["candidates"]
+        for info in artifact["machines"].values()
+        for entry in info["best"].values()
+    )
+    stats = f"{n_jobs} candidates in {elapsed:.2f}s"
+    if cache is not None:
+        stats += (
+            f"; cache {cache.root}: {cache.hits} hits, "
+            f"{cache.misses} misses"
+        )
+    stats += f"; {breakdown_calls()} modelled evaluations"
+    print(stats)
+    print(f"wrote {out}")
+
+    if args.verify:
+        return 1 if _verify(artifact, isa_names, problems) else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,263 @@
+"""The persistent kernel/timing cache behind the autotuner.
+
+Every candidate evaluation — one modelled GEMM breakdown for one
+(machine, main tile, problem) triple — is content-addressed by a SHA-256
+digest over ``(isa, vlen, mr, nr, m, n, k, model_version)`` and stored
+as one JSON file under ``out/tunecache/<isa>/``.  A warm re-run of the
+tuner (or of cache-backed kernel selection) then never calls the timing
+model at all.
+
+Invalidation is part of the key: ``model_version`` combines the
+hand-bumped :data:`MODEL_VERSION` with a fingerprint of the machine
+model's parameters (see ``IsaTarget.cache_key_fields``), so editing a
+cache latency or pipe count in ``repro.isa.machine`` retires the stale
+entries automatically instead of serving them.
+
+A cache can be *activated* process-wide (:func:`activate` /
+:func:`using`); ``repro.ukernel.registry.select_kernel_for`` delegates
+its ranking to the active cache when one is present.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.isa.machine import MachineModel
+from repro.isa.targets import machine_fingerprint
+
+#: bump when the timing model changes meaning, to retire every entry
+MODEL_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """``out/tunecache/``, overridable via ``REPRO_TUNECACHE``."""
+    return Path(os.environ.get("REPRO_TUNECACHE", "out/tunecache"))
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The content hash identity of one candidate evaluation."""
+
+    isa: str
+    vlen: int
+    mr: int
+    nr: int
+    m: int
+    n: int
+    k: int
+    model_version: str
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "isa": self.isa,
+            "vlen": self.vlen,
+            "mr": self.mr,
+            "nr": self.nr,
+            "m": self.m,
+            "n": self.n,
+            "k": self.k,
+            "model_version": self.model_version,
+        }
+
+    @property
+    def digest(self) -> str:
+        blob = json.dumps(self.payload(), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+
+def cache_key(
+    machine: MachineModel,
+    tile: Tuple[int, int],
+    problem: Tuple[int, int, int],
+) -> CacheKey:
+    """Key one (machine, main tile, GEMM shape) evaluation."""
+    return CacheKey(
+        isa=machine.isa,
+        vlen=machine.vector_bits,
+        mr=tile[0],
+        nr=tile[1],
+        m=problem[0],
+        n=problem[1],
+        k=problem[2],
+        model_version=f"{MODEL_VERSION}:{machine_fingerprint(machine)}",
+    )
+
+
+@dataclass(frozen=True)
+class TunedBreakdown:
+    """A cached GEMM breakdown with the timing surface of
+    ``GemmTimeBreakdown`` — the cycle components plus ``total_cycles``,
+    ``seconds``, and ``gflops``.  It carries the machine's frequency but
+    *not* the ``MachineModel`` itself (``machine`` does not exist here);
+    consumers needing the full model must evaluate uncached.
+
+    Reconstructed from a cache record instead of the timing model; the
+    component fields round-trip exactly through JSON, so ``total_cycles``
+    (and every ranking decision made on it) is bit-identical to the
+    original evaluation.
+    """
+
+    compute_cycles: float
+    pack_cycles: float
+    c_stall_cycles: float
+    dram_limit_cycles: float
+    flops: int
+    freq_ghz: float
+    #: the stored total, not a recomputation — ranking a cache hit reads
+    #: the same float ``tune.sweep`` ranked, so the two paths cannot
+    #: drift even if the modelled total formula gains a component
+    total_cycles: float
+
+    @property
+    def seconds(self) -> float:
+        return self.total_cycles / (self.freq_ghz * 1e9)
+
+    @property
+    def gflops(self) -> float:
+        return self.flops / self.total_cycles * self.freq_ghz
+
+
+def record_from_breakdown(breakdown) -> Dict[str, float]:
+    """Serialize a (modelled or cached) breakdown to a plain JSON record."""
+    freq = getattr(
+        breakdown, "freq_ghz", None
+    ) or breakdown.machine.freq_ghz
+    return {
+        "compute_cycles": breakdown.compute_cycles,
+        "pack_cycles": breakdown.pack_cycles,
+        "c_stall_cycles": breakdown.c_stall_cycles,
+        "dram_limit_cycles": breakdown.dram_limit_cycles,
+        "flops": breakdown.flops,
+        "freq_ghz": freq,
+        "total_cycles": breakdown.total_cycles,
+        "gflops": breakdown.gflops,
+    }
+
+
+def breakdown_from_record(record: Dict[str, float]) -> TunedBreakdown:
+    return TunedBreakdown(
+        compute_cycles=record["compute_cycles"],
+        pack_cycles=record["pack_cycles"],
+        c_stall_cycles=record["c_stall_cycles"],
+        dram_limit_cycles=record["dram_limit_cycles"],
+        flops=int(record["flops"]),
+        freq_ghz=record["freq_ghz"],
+        total_cycles=record["total_cycles"],
+    )
+
+
+class TuneCache:
+    """One-file-per-entry JSON store under a root directory.
+
+    Writes are atomic (temp file + rename in the destination directory),
+    so concurrent workers and interrupted runs never leave a reader a
+    torn entry; a corrupt or unreadable file simply reads as a miss and
+    is re-evaluated.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: CacheKey) -> Path:
+        return self.root / key.isa / f"{key.digest}.json"
+
+    #: fields a record must carry to reconstruct a TunedBreakdown
+    RECORD_FIELDS = frozenset(
+        {
+            "compute_cycles",
+            "pack_cycles",
+            "c_stall_cycles",
+            "dram_limit_cycles",
+            "flops",
+            "freq_ghz",
+            "total_cycles",
+        }
+    )
+
+    def get(self, key: CacheKey) -> Optional[Dict[str, float]]:
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+            record = entry["record"]
+            if not self.RECORD_FIELDS <= record.keys():
+                raise KeyError("incomplete record")
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: CacheKey, record: Dict[str, float]) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key.payload(), "record": record}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(entry, f, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for p in self.root.rglob("*.json")
+            if not p.name.startswith(".tmp-")
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TuneCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+_active: Optional[TuneCache] = None
+
+
+def activate(cache: Union[TuneCache, str, Path]) -> TuneCache:
+    """Make ``cache`` the process-wide cache kernel selection consults."""
+    global _active
+    if not isinstance(cache, TuneCache):
+        cache = TuneCache(cache)
+    _active = cache
+    return cache
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+def active_cache() -> Optional[TuneCache]:
+    return _active
+
+
+@contextmanager
+def using(cache: Union[TuneCache, str, Path]):
+    """Activate a cache for the duration of a ``with`` block."""
+    global _active
+    previous = _active
+    try:
+        yield activate(cache)
+    finally:
+        _active = previous

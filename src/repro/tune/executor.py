@@ -1,0 +1,158 @@
+"""Parallel evaluation of tune jobs over a process pool.
+
+Each job is one ``exo_gemm_breakdown`` call — a modelled GEMM with one
+candidate main tile.  Jobs travel to workers as plain tuples and come
+back as plain JSON records, so the pool never pickles procedures,
+traces, or machine models; each worker process rebuilds (and memoizes)
+its evaluation context per ISA on first use.  On Linux the pool forks,
+so kernels already generated in the parent are inherited for free.
+
+Jobs are *chunked* per ISA before submission — one future per chunk —
+to amortize inter-process overhead, and results are written back by job
+index, so the output order is exactly the input order no matter which
+worker finishes first.
+
+The module counts every breakdown evaluation in
+:func:`breakdown_calls`; a warm-cache run must leave the counter
+untouched (the executor returns before a pool is even created when
+every job hits the cache).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cache import TuneCache, cache_key, record_from_breakdown
+from .space import TuneJob
+
+#: chunks submitted per worker (per ISA group) — small enough to balance
+#: load across workers, large enough to amortize submission overhead
+CHUNKS_PER_WORKER = 2
+
+_contexts: Dict[str, object] = {}
+_breakdown_calls = 0
+
+
+def breakdown_calls() -> int:
+    """Modelled-timing evaluations performed through the tune executor.
+
+    Counts in-process evaluations plus, for parallel runs, evaluations
+    performed on this process's behalf by pool workers (credited as
+    their chunks complete).  A warm-cache run leaves the counter at
+    zero.  Direct harness calls made outside the executor — e.g. a
+    serial ``select_kernel_for`` without an active cache, or the CLI's
+    ``--verify`` cross-check — are deliberately not counted.
+    """
+    return _breakdown_calls
+
+
+def reset_breakdown_calls() -> None:
+    global _breakdown_calls
+    _breakdown_calls = 0
+
+
+def _context_for(isa: str):
+    """Per-process memoized evaluation context for one ISA target."""
+    if isa not in _contexts:
+        from repro.eval.harness import machine_context
+        from repro.isa.targets import target
+
+        _contexts[isa] = machine_context(target(isa).machine)
+    return _contexts[isa]
+
+
+def evaluate_candidate(
+    isa: str, mr: int, nr: int, m: int, n: int, k: int
+) -> Dict[str, float]:
+    """Run the timing model for one candidate and return its record."""
+    global _breakdown_calls
+    _breakdown_calls += 1
+    from repro.eval import harness
+
+    ctx = _context_for(isa)
+    breakdown = harness.exo_gemm_breakdown(m, n, k, main=(mr, nr), ctx=ctx)
+    return record_from_breakdown(breakdown)
+
+
+def _evaluate_chunk(
+    isa: str, tiles: Sequence[Tuple[int, int, int, int, int]]
+) -> List[Dict[str, float]]:
+    return [evaluate_candidate(isa, *spec) for spec in tiles]
+
+
+def _chunk_indices(
+    pending: Sequence[int], jobs: Sequence[TuneJob], workers: int
+) -> List[Tuple[str, List[int]]]:
+    """Split pending job indices into per-ISA chunks, preserving order."""
+    groups: Dict[str, List[int]] = {}
+    for i in pending:
+        groups.setdefault(jobs[i].isa, []).append(i)
+    chunks: List[Tuple[str, List[int]]] = []
+    for isa, indices in groups.items():
+        size = max(1, math.ceil(len(indices) / (workers * CHUNKS_PER_WORKER)))
+        for start in range(0, len(indices), size):
+            chunks.append((isa, indices[start : start + size]))
+    return chunks
+
+
+def run_jobs(
+    jobs: Sequence[TuneJob],
+    workers: int = 0,
+    cache: Optional[TuneCache] = None,
+) -> List[Dict[str, float]]:
+    """Evaluate every job, returning records in job order.
+
+    Cached jobs are answered without any evaluation; the remainder run
+    serially in-process (``workers <= 1``) or across a process pool, and
+    their records are persisted back to the cache before returning.
+    """
+    from repro.isa.targets import target
+
+    results: List[Optional[Dict[str, float]]] = [None] * len(jobs)
+    keys = [None] * len(jobs)
+    pending: List[int] = []
+    for i, job in enumerate(jobs):
+        if cache is not None:
+            keys[i] = cache_key(
+                target(job.isa).machine, job.tile, job.problem
+            )
+            record = cache.get(keys[i])
+            if record is not None:
+                results[i] = record
+                continue
+        pending.append(i)
+    if not pending:
+        return results
+
+    if workers and workers > 1:
+        chunks = _chunk_indices(pending, jobs, workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            for isa, indices in chunks:
+                specs = [
+                    (jobs[i].mr, jobs[i].nr, jobs[i].m, jobs[i].n, jobs[i].k)
+                    for i in indices
+                ]
+                futures[pool.submit(_evaluate_chunk, isa, specs)] = indices
+            global _breakdown_calls
+            for future in as_completed(futures):
+                # persist each chunk as it lands, so an interrupted
+                # cold sweep resumes instead of starting over
+                for i, record in zip(futures[future], future.result()):
+                    results[i] = record
+                    if cache is not None:
+                        cache.put(keys[i], record)
+                # credit the worker's evaluations to this process's
+                # counter, so the CLI stats stay truthful under -j
+                _breakdown_calls += len(futures[future])
+    else:
+        for i in pending:
+            job = jobs[i]
+            results[i] = evaluate_candidate(
+                job.isa, job.mr, job.nr, job.m, job.n, job.k
+            )
+            if cache is not None:
+                cache.put(keys[i], results[i])
+    return results

@@ -41,7 +41,6 @@ from repro.core.scheduling import (
 from .generator import (
     GeneratedKernel,
     _default_lib,
-    _schedule_packed,
     make_scaled_reference_kernel,
 )
 

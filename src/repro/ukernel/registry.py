@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.isa.machine import MachineModel
+from repro.isa.machine import CARMEL, MachineModel
 from repro.isa.targets import family_for_lanes, target_for_machine
 
 from .generator import GeneratedKernel, generate_microkernel
@@ -115,28 +115,70 @@ def select_kernel_for(
     sizes favour 8x4 or 8x8 over the default 8x12.  Passing ``machine``
     ranks on that core with its own ISA library and family — e.g. an RVV
     machine selects among RVV register tiles.
+
+    The candidate enumeration and the ranking order
+    (:func:`repro.tune.space.rank_key`) are shared with
+    :mod:`repro.tune`, so the parallel tuner and this serial path always
+    agree on a winner.  When a tune cache is active
+    (:func:`repro.tune.activate`), ranking reads cached timings and only
+    evaluates the model for misses, which it persists back; a cache hit
+    returns a :class:`repro.tune.TunedBreakdown` (same
+    ``total_cycles``/``gflops``/``seconds`` surface as the modelled
+    ``GemmTimeBreakdown``, but no ``machine`` field).
     """
     from repro.eval.harness import exo_gemm_breakdown, machine_context
+    from repro.tune.cache import (
+        active_cache,
+        breakdown_from_record,
+        cache_key,
+        record_from_breakdown,
+    )
+    from repro.tune.space import candidate_tiles, rank_key
 
     ctx = machine_context(machine) if machine is not None else None
     if registry is None:
         registry = ctx.registry if ctx is not None else default_registry()
+    vla = bool(registry.lib.get("vla"))
     if candidates is None:
-        candidates = registry.family_shapes
+        # already bounds-filtered, with the shape-respecting fallback
+        # substituted when nothing fits
+        fitting = list(candidate_tiles(registry.family_shapes, m, n, vla=vla))
+    else:
+        fitting = [s for s in candidates if s[0] <= m and s[1] <= n]
+        if not fitting:
+            # honour the caller's restriction: smallest area (the least
+            # padded work), ties lexicographic, evaluated as-is
+            fitting = [min(candidates, key=lambda s: (s[0] * s[1], s))]
+    cache = active_cache()
+    # cache keys identify timings by machine only, so they are valid
+    # solely for the machine's canonical registry — a caller-supplied
+    # registry (different library, same machine tag) must not read or
+    # poison those entries.  Key by the machine the memoized context
+    # actually models (contexts are shared by machine name), so a
+    # same-named-but-edited machine never caches the shared context's
+    # timings under its own fingerprint.
+    canonical = ctx.registry if ctx is not None else _default_registry
+    key_machine = None
+    if registry is canonical:
+        key_machine = ctx.machine if ctx is not None else CARMEL
     best = None
-    for shape in candidates:
-        mr, nr = shape
-        if mr > m or nr > n:
-            continue
-        breakdown = exo_gemm_breakdown(
-            m, n, k, main=(mr, nr), registry=registry, ctx=ctx
-        )
-        if best is None or breakdown.total_cycles < best[1].total_cycles:
+    best_rank = None
+    for shape in fitting:
+        breakdown = None
+        key = None
+        if cache is not None and key_machine is not None:
+            key = cache_key(key_machine, shape, (m, n, k))
+            record = cache.get(key)
+            if record is not None:
+                breakdown = breakdown_from_record(record)
+        if breakdown is None:
+            breakdown = exo_gemm_breakdown(
+                m, n, k, main=shape, registry=registry, ctx=ctx
+            )
+            if key is not None:
+                cache.put(key, record_from_breakdown(breakdown))
+        rank = rank_key(breakdown.total_cycles, shape)
+        if best_rank is None or rank < best_rank:
             best = (shape, breakdown)
-    if best is None:
-        shape = min(candidates, key=lambda s: s[0] * s[1])
-        breakdown = exo_gemm_breakdown(
-            m, n, k, main=shape, registry=registry, ctx=ctx
-        )
-        best = (shape, breakdown)
+            best_rank = rank
     return best

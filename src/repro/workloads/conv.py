@@ -13,7 +13,6 @@ functional tests can check conv-by-GEMM against a direct convolution.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Tuple
 

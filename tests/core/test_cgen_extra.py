@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import DRAM, Neon, proc
+from repro.core import DRAM, proc
 from repro.core.prelude import CodegenError
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import DRAM, PatternError, proc
-from repro.core.loopir import Alloc, Assign, For, Reduce
+from repro.core.loopir import Alloc, For, Reduce
 from repro.core.patterns import (
     find_all_stmts,
     find_alloc,
@@ -107,4 +107,4 @@ class TestCursors:
     def test_parent_loops(self):
         cursor = find_stmt(sample.ir, "y[_] += _")
         loops = cursor.parent_loops()
-        assert [l.iter.name for l in loops] == ["k", "i"]
+        assert [lp.iter.name for lp in loops] == ["k", "i"]

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import DRAM, Neon, proc
 from repro.core.loopir import BinOp, Const, Read, USub
-from repro.core.pprint import expr_to_str, proc_to_str, stmt_to_str
+from repro.core.pprint import expr_to_str, stmt_to_str
 from repro.core.prelude import Sym
 from repro.core.typesys import INDEX
 

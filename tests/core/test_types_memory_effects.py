@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import DRAM, GENERIC, Neon, Neon8f, proc
+from repro.core import DRAM, Neon, Neon8f, proc
 from repro.core.effects import (
     expr_range,
     fission_safe,

@@ -9,7 +9,7 @@ equivalence guarantee.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

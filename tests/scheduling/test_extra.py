@@ -13,7 +13,7 @@ sys.path.insert(0, str(Path(__file__).parent.parent))
 from helpers import assert_equivalent
 
 from repro.core import DRAM, Neon, SchedulingError, proc
-from repro.core.loopir import Call, For
+from repro.core.loopir import For
 from repro.core.scheduling import (
     cut_loop,
     fuse_loops,

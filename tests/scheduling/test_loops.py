@@ -16,7 +16,7 @@ sys.path.insert(0, str(Path(__file__).parent.parent))
 from helpers import assert_equivalent
 
 from repro.core import DRAM, SchedulingError, proc
-from repro.core.loopir import Call, For
+from repro.core.loopir import For
 from repro.core.scheduling import (
     autofission,
     divide_loop,

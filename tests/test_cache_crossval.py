@@ -15,9 +15,7 @@ analytical model is built on:
 
 from __future__ import annotations
 
-import itertools
 
-import numpy as np
 import pytest
 
 from repro.sim.cache import Cache

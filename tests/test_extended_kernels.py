@@ -7,12 +7,9 @@ import pytest
 
 from repro.core.loopir import Call, For
 from repro.isa.avx512 import AVX512_F32_LIB
-from repro.isa.neon import NEON_F32_LIB
-from repro.isa.neon_fp16 import NEON_F16_LIB
 from repro.ukernel.extended import (
     generate_nopack_microkernel,
     generate_scaled_microkernel,
-    make_nopack_reference_kernel,
 )
 
 

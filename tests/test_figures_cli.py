@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from pathlib import Path
 
 import pytest
 
@@ -23,7 +22,7 @@ class TestBarChart:
 
     def test_bars_scale_with_values(self):
         text = bar_chart(SAMPLE, x="shape", series=["NEON", "EXO"], width=20)
-        lines = [l for l in text.splitlines() if "EXO" in l]
+        lines = [ln for ln in text.splitlines() if "EXO" in ln]
         big = lines[0].count("█")
         small = lines[1].count("█")
         assert big > small

@@ -17,14 +17,13 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from helpers import assert_equivalent
 
-from repro.core.loopir import Alloc, Call, For
+from repro.core.loopir import Alloc
 from repro.isa.avx512 import AVX512_F32_LIB
 from repro.isa.neon import NEON_F32_LIB
 from repro.isa.neon_fp16 import NEON_F16_LIB
 from repro.ukernel.generator import (
     generate_all_steps,
     generate_microkernel,
-    make_reference_kernel,
     make_scaled_reference_kernel,
 )
 

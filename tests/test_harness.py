@@ -10,7 +10,6 @@ from __future__ import annotations
 import pytest
 
 from repro.eval.harness import (
-    EvalContext,
     all_config_breakdowns,
     best_exo_breakdown,
     default_context,

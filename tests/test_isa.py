@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.isa import CARMEL, GENERIC_ARM, MachineModel
+from repro.isa import CARMEL, GENERIC_ARM
 from repro.isa.avx512 import AVX512_F32_LIB, mm512_fmadd_ps, mm512_loadu_ps
 from repro.isa.machine import AVX512_SERVER
 from repro.isa.neon import (

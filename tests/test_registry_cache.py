@@ -1,0 +1,62 @@
+"""Cache semantics of the per-machine kernel registries.
+
+Two machines tagged with the same ``isa`` must share one registry (and
+so one set of generated kernels); distinct ISAs must be isolated; and
+the historical Neon process-wide default registry must never be touched
+by a run on another backend.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.isa.machine import CARMEL, RVV_EDGE_VLEN128, RVV_SERVER_VLEN256
+from repro.ukernel import registry as reg
+
+
+@pytest.fixture()
+def clean_registries(monkeypatch):
+    """Fresh registry globals; the session-wide ones restore on teardown."""
+    monkeypatch.setattr(reg, "_default_registry", None)
+    monkeypatch.setattr(reg, "_machine_registries", {})
+
+
+class TestRegistryForMachine:
+    def test_same_isa_shares_one_registry(self, clean_registries):
+        twin = dataclasses.replace(
+            RVV_EDGE_VLEN128, name="another VLEN=128 core"
+        )
+        assert twin is not RVV_EDGE_VLEN128
+        r1 = reg.registry_for_machine(RVV_EDGE_VLEN128)
+        r2 = reg.registry_for_machine(twin)
+        assert r1 is r2
+        r1.get(1, 4)
+        assert (1, 4) in r2
+
+    def test_distinct_isas_are_isolated(self, clean_registries):
+        r128 = reg.registry_for_machine(RVV_EDGE_VLEN128)
+        r256 = reg.registry_for_machine(RVV_SERVER_VLEN256)
+        assert r128 is not r256
+        assert r128.lib["lanes"] == 4
+        assert r256.lib["lanes"] == 8
+        r128.get(4, 4)
+        assert (4, 4) in r128
+        assert (4, 4) not in r256
+
+    def test_rvv_run_never_populates_neon_default(self, clean_registries):
+        reg.registry_for_machine(RVV_EDGE_VLEN128).get(1, 4)
+        # the Neon default registry was neither created nor populated
+        assert reg._default_registry is None
+
+    def test_neon_machine_reuses_the_default_registry(self, clean_registries):
+        r = reg.registry_for_machine(CARMEL)
+        assert r is reg.default_registry()
+        assert r.lib["lanes"] == 4
+
+    def test_repeated_lookups_are_memoized(self, clean_registries):
+        r1 = reg.registry_for_machine(RVV_SERVER_VLEN256)
+        r2 = reg.registry_for_machine(RVV_SERVER_VLEN256)
+        assert r1 is r2
+        assert reg._machine_registries == {"rvv256": r1}

@@ -11,8 +11,6 @@ from __future__ import annotations
 import sys
 from pathlib import Path
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -20,8 +18,8 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 from helpers import assert_equivalent
 
-from repro.core import Procedure, SchedulingError
-from repro.core.prelude import PatternError, ReproError
+from repro.core import Procedure
+from repro.core.prelude import ReproError
 from repro.core.scheduling import (
     divide_loop,
     reorder_loops,

@@ -10,15 +10,10 @@ from __future__ import annotations
 import pytest
 
 from repro.isa.machine import CARMEL, GENERIC_ARM
-from repro.sim.cache import Cache, CacheHierarchy, hierarchy_for
+from repro.sim.cache import Cache, hierarchy_for
 from repro.sim.memory import GemmShape, TileParams, memory_cost
-from repro.sim.pipeline import PipelineModel, TraceOp, trace_from_kernel
-from repro.sim.timing import (
-    ChunkPlan,
-    TimingModel,
-    gemm_time_model,
-    solo_kernel_gflops,
-)
+from repro.sim.pipeline import PipelineModel, trace_from_kernel
+from repro.sim.timing import ChunkPlan, gemm_time_model, solo_kernel_gflops
 
 
 @pytest.fixture(scope="module")

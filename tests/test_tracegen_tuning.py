@@ -7,7 +7,7 @@ import pytest
 from repro.blis.tuning import analytical_result, grid_search_tiles
 from repro.sim.memory import GemmShape, TileParams, memory_cost
 from repro.sim.pipeline import trace_from_kernel
-from repro.sim.tracegen import GemmTraceSimulator, simulate_gemm_trace
+from repro.sim.tracegen import simulate_gemm_trace
 
 
 class TestTraceSimulator:
