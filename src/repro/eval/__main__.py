@@ -10,6 +10,11 @@ writes one text report per figure into the output directory (default
 not exist there, so the report is the generated-family solo sweep, the
 square-GEMM sweep with model-driven kernel selection, and the cross-ISA
 portability table.
+
+``--threads N`` adds the multi-core execution model: a thread-scaling
+figure for the target machine (1..N threads, jc/ic partition choice and
+modelled GFLOPS per count) plus threaded variants of the ResNet50 and
+VGG16 end-to-end sweeps (see ``docs/parallel.md``).
 """
 
 from __future__ import annotations
@@ -33,6 +38,9 @@ from .harness import (
     machine_context,
     portability_solo_data,
     solo_sweep_data,
+    thread_counts_up_to,
+    thread_scaling_data,
+    threaded_instance_time_data,
 )
 from .report import render_table, winners
 
@@ -45,7 +53,55 @@ def _write(outdir: Path, name: str, text: str) -> None:
     print(f"  wrote {path}")
 
 
-def run_isa_eval(isa: str, outdir: Path) -> int:
+def run_threaded_eval(ctx, isa: str, threads: int, outdir: Path) -> list:
+    """The multi-core figures: thread scaling + threaded DNN sweeps.
+
+    Returns the summary lines to fold into the run's SUMMARY file.
+    """
+    from repro.workloads.resnet50 import resnet50_instances
+    from repro.workloads.vgg16 import vgg16_instances
+
+    print(f"Thread scaling (1..{threads} threads)...")
+    rows = thread_scaling_data(ctx, max_threads=threads)
+    text = render_table(
+        rows, title=f"Thread scaling — {ctx.machine.name}"
+    )
+    text += "\n\n" + bar_chart(
+        rows, x="threads", series=["GFLOPS"], unit=" GF"
+    )
+    _write(outdir, f"threads_{isa}_scaling.txt", text)
+    top = rows[-1]
+    lines = [
+        f"threads: {top['threads']} cores -> {top['speedup']:.1f}x "
+        f"({top['GFLOPS']:.1f} GFLOPS, partition {top['partition']})"
+    ]
+
+    counts = thread_counts_up_to(threads)
+    print("Threaded ResNet50 / VGG16 end-to-end sweeps...")
+    workloads = (
+        ("resnet50", resnet50_instances()),
+        ("vgg16", vgg16_instances()),
+    )
+    for name, instances in workloads:
+        wrows = threaded_instance_time_data(instances, ctx, counts)
+        final = wrows[-1]
+        _write(
+            outdir, f"threads_{isa}_{name}_time.txt",
+            render_table(
+                wrows,
+                title=f"{name} cumulative ALG+EXO time (s) by thread "
+                f"count — {ctx.machine.name}",
+            ),
+        )
+        last = f"t{counts[-1]}"
+        lines.append(
+            f"{name}: {final['t1']:.4f}s at 1 thread -> "
+            f"{final[last]:.4f}s at {counts[-1]}"
+        )
+    return lines
+
+
+def run_isa_eval(isa: str, outdir: Path, threads: int = 1) -> int:
     """The retargeted evaluation for one non-default backend."""
     from repro import tune
     from repro.isa.targets import target
@@ -91,6 +147,9 @@ def run_isa_eval(isa: str, outdir: Path) -> int:
         f"with kernel {sq_rows[-1]['kernel']}"
     )
 
+    if threads > 1:
+        summary.extend(run_threaded_eval(ctx, isa, threads, outdir))
+
     print("Cross-ISA portability table...")
     port = portability_solo_data(
         tuple(dict.fromkeys(("neon", "rvv128", "rvv256", isa)))
@@ -110,25 +169,50 @@ def run_isa_eval(isa: str, outdir: Path) -> int:
     return 0
 
 
+def _pop_option(argv: list, name: str):
+    """Extract ``--name VALUE`` or ``--name=VALUE`` from ``argv``.
+
+    Returns the value, ``None`` when absent, or raises ``ValueError``
+    when the flag is present without a value.
+    """
+    for i, arg in enumerate(argv):
+        if arg.startswith(f"--{name}="):
+            del argv[i]
+            return arg.split("=", 1)[1]
+        if arg == f"--{name}":
+            try:
+                value = argv[i + 1]
+            except IndexError:
+                raise ValueError(f"--{name} requires an argument") from None
+            del argv[i : i + 2]
+            return value
+    return None
+
+
 def main(argv=None) -> int:
     argv = list(argv if argv is not None else sys.argv[1:])
-    isa = "neon"
-    for i, arg in enumerate(argv):
-        if arg.startswith("--isa="):
-            isa = arg.split("=", 1)[1].lower()
-            del argv[i]
-            break
-        if arg == "--isa":
-            try:
-                isa = argv[i + 1].lower()
-            except IndexError:
-                print("--isa requires an argument", file=sys.stderr)
-                return 2
-            del argv[i : i + 2]
-            break
-    if not isa:
+    try:
+        isa = _pop_option(argv, "isa")
+        threads_spec = _pop_option(argv, "threads")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if isa is not None and not isa.strip():
         print("--isa requires an argument", file=sys.stderr)
         return 2
+    isa = (isa or "neon").lower()
+    threads = 1
+    if threads_spec is not None:
+        try:
+            threads = int(threads_spec)
+            if threads < 1:
+                raise ValueError
+        except ValueError:
+            print(
+                f"--threads wants a positive integer, got {threads_spec!r}",
+                file=sys.stderr,
+            )
+            return 2
     if isa != "neon":
         from repro.isa.targets import ISA_TARGETS
 
@@ -138,10 +222,18 @@ def main(argv=None) -> int:
                 file=sys.stderr,
             )
             return 2
+    stray = [arg for arg in argv if arg.startswith("--")]
+    if stray:
+        print(
+            f"unknown option(s): {', '.join(stray)} "
+            "(supported: --isa NAME, --threads N)",
+            file=sys.stderr,
+        )
+        return 2
     outdir = Path(argv[0]) if argv else Path("results")
     outdir.mkdir(parents=True, exist_ok=True)
     if isa != "neon":
-        return run_isa_eval(isa, outdir)
+        return run_isa_eval(isa, outdir, threads=threads)
     ctx = default_context()
     t0 = time.time()
     summary = []
@@ -240,6 +332,9 @@ def main(argv=None) -> int:
         f"Fig 18: ALG+EXO {final['ALG+EXO']:.4f}s vs BLIS "
         f"{final['BLIS']:.4f}s — close, as the paper reports"
     )
+
+    if threads > 1:
+        summary.extend(run_threaded_eval(ctx, "neon", threads, outdir))
 
     elapsed = time.time() - t0
     summary.append(f"\nregenerated in {elapsed:.1f}s (modelled Carmel core)")

@@ -25,6 +25,7 @@ from repro.baselines.neon_handwritten import neon_kernel_model
 from repro.blis.params import analytical_tile_params, clamp_tiles
 from repro.isa.machine import CARMEL, MachineModel
 from repro.sim.memory import GemmShape
+from repro.sim.parallel import ParallelBreakdown, parallel_gemm_breakdown
 from repro.sim.pipeline import KernelTrace, trace_from_kernel
 from repro.sim.timing import (
     ChunkPlan,
@@ -223,6 +224,55 @@ def baseline_gemm_breakdown(
     )
 
 
+def plane_chunk_plans(
+    ctx: EvalContext, m: int, n: int, mr_main: int, nr_main: int
+) -> List[ChunkPlan]:
+    """Chunk plans covering an (m, n) plane with the family at ``main``.
+
+    The plane decomposes into the main tile plus smaller family members
+    over the ragged edges — no masked work, every flop useful.  On a VLA
+    target (RVV) the plane is covered *exactly* via
+    :func:`vla_tile_cover` — ragged heights run as full-width parts plus
+    a reduced-``vsetvl`` tail instead of being padded to a family shape.
+
+    This is the edge/tail selection for one plane — the serial model
+    runs it once on the whole (m, n), the threaded model once per thread
+    slice, so tails re-select against each slice's ragged extents.
+    """
+    if ctx.registry.lib.get("vla") and ctx.vla_lib_factory() is not None:
+        cover = vla_tile_cover(m, n, mr_main, nr_main)
+        return [
+            ChunkPlan(
+                trace=trace,
+                mr=part_mr,
+                nr=w,
+                count=count,
+                call_overhead=EXO_CALL_OVERHEAD,
+            )
+            for (h, w), count in sorted(cover.items())
+            for part_mr, trace in ctx.vla_part_traces(h, w)
+        ]
+    family_shapes = ctx.registry.family_shapes
+    heights = tuple(
+        sorted({s[0] for s in family_shapes if s[0] <= mr_main}, reverse=True)
+    )
+    widths = tuple(
+        sorted({s[1] for s in family_shapes if s[1] <= nr_main}, reverse=True)
+    )
+    family = tuple((h, w) for h in heights for w in widths)
+    cover = tile_cover(m, n, family)
+    return [
+        ChunkPlan(
+            trace=ctx.exo_trace(mr, nr),
+            mr=mr,
+            nr=nr,
+            count=count,
+            call_overhead=EXO_CALL_OVERHEAD,
+        )
+        for (mr, nr), count in sorted(cover.items())
+    ]
+
+
 def exo_gemm_breakdown(
     m: int,
     n: int,
@@ -233,13 +283,8 @@ def exo_gemm_breakdown(
 ) -> GemmTimeBreakdown:
     """Five-loop GEMM with the generated family anchored at ``main``.
 
-    The (m, n) plane decomposes into the main tile plus smaller family
-    members over the ragged edges — no masked work, every flop useful.
+    The (m, n) plane decomposes through :func:`plane_chunk_plans`;
     ``main`` defaults to the context's ISA main tile (8x12 on Neon).
-
-    On a VLA target (RVV) the plane is covered *exactly* via
-    :func:`vla_tile_cover` — ragged heights run as full-width parts plus
-    a reduced-``vsetvl`` tail instead of being padded to a family shape.
     """
     ctx = ctx or default_context()
     if registry is not None and registry is not ctx.registry:
@@ -249,47 +294,44 @@ def exo_gemm_breakdown(
     tiles = clamp_tiles(
         analytical_tile_params(mr_main, nr_main, ctx.machine), m, n, k
     )
-    plans: List[ChunkPlan] = []
-    if ctx.registry.lib.get("vla") and ctx.vla_lib_factory() is not None:
-        cover = vla_tile_cover(m, n, mr_main, nr_main)
-        for (h, w), count in sorted(cover.items()):
-            for part_mr, trace in ctx.vla_part_traces(h, w):
-                plans.append(
-                    ChunkPlan(
-                        trace=trace,
-                        mr=part_mr,
-                        nr=w,
-                        count=count,
-                        call_overhead=EXO_CALL_OVERHEAD,
-                    )
-                )
-    else:
-        family_shapes = ctx.registry.family_shapes
-        heights = tuple(
-            sorted(
-                {s[0] for s in family_shapes if s[0] <= mr_main}, reverse=True
-            )
-        )
-        widths = tuple(
-            sorted(
-                {s[1] for s in family_shapes if s[1] <= nr_main}, reverse=True
-            )
-        )
-        family = tuple((h, w) for h in heights for w in widths)
-        cover = tile_cover(m, n, family)
-        plans = [
-            ChunkPlan(
-                trace=ctx.exo_trace(mr, nr),
-                mr=mr,
-                nr=nr,
-                count=count,
-                call_overhead=EXO_CALL_OVERHEAD,
-            )
-            for (mr, nr), count in sorted(cover.items())
-        ]
+    plans = plane_chunk_plans(ctx, m, n, mr_main, nr_main)
     return gemm_time_model(
         shape, plans, tiles, prefetch_c=False,
         machine=ctx.machine, model=ctx.model,
+    )
+
+
+def exo_parallel_breakdown(
+    m: int,
+    n: int,
+    k: int,
+    threads: int,
+    ctx: EvalContext,
+    main: Optional[Tuple[int, int]] = None,
+) -> ParallelBreakdown:
+    """Threaded five-loop GEMM with per-slice edge/tail kernel selection.
+
+    The jc/ic partitioner splits the plane at the main tile's
+    granularity; each thread slice then covers its own sub-plane through
+    :func:`plane_chunk_plans`, so a slice that inherits the ragged tail
+    composes VLA ``vsetvl`` tails (or the family's edge kernels) with
+    the partition's uneven extents.  ``ctx`` is required: the threaded
+    model never defaults a machine.
+
+    With ``threads=1`` this equals :func:`exo_gemm_breakdown` exactly.
+    """
+    mr_main, nr_main = main if main is not None else ctx.main_tile
+    shape = GemmShape(m, n, k)
+    tiles = clamp_tiles(
+        analytical_tile_params(mr_main, nr_main, ctx.machine), m, n, k
+    )
+    return parallel_gemm_breakdown(
+        shape, tiles, threads,
+        machine=ctx.machine,
+        plan_builder=lambda mt, nt: plane_chunk_plans(
+            ctx, mt, nt, mr_main, nr_main
+        ),
+        model=ctx.model,
     )
 
 
@@ -439,6 +481,88 @@ def solo_sweep_data(
                 "shape": f"{mr}x{nr}",
                 "GFLOPS": gf,
                 "peak_frac": gf / peak,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Thread scaling (the future-work axis: multi-core BLIS parallelization)
+# ---------------------------------------------------------------------------
+
+
+def thread_counts_up_to(limit: int) -> Tuple[int, ...]:
+    """The thread sweep for a ``--threads N`` request: powers of two up
+    to ``N``, plus ``N`` itself when it is not one."""
+    if limit < 1:
+        raise ValueError(f"threads must be >= 1, got {limit}")
+    counts = []
+    t = 1
+    while t <= limit:
+        counts.append(t)
+        t *= 2
+    if counts[-1] != limit:
+        counts.append(limit)
+    return tuple(counts)
+
+
+def thread_scaling_data(
+    ctx: EvalContext,
+    shape: Tuple[int, int, int] = (2000, 2000, 2000),
+    max_threads: Optional[int] = None,
+) -> List[dict]:
+    """GFLOPS and partition choice per thread count on one machine.
+
+    The modelled scaling figure: near-linear while compute-bound,
+    saturating once the socket's DRAM stream dominates.  ``max_threads``
+    defaults to the machine's core count.
+    """
+    m, n, k = shape
+    limit = max_threads if max_threads is not None else ctx.machine.cores
+    serial_cycles = None
+    rows = []
+    for t in thread_counts_up_to(limit):
+        b = exo_parallel_breakdown(m, n, k, t, ctx=ctx)
+        if serial_cycles is None:  # the sweep always starts at t=1
+            serial_cycles = b.total_cycles
+        rows.append(
+            {
+                "threads": t,
+                "partition": f"{b.jc_ways}x{b.ic_ways}",
+                "GFLOPS": b.gflops,
+                "speedup": serial_cycles / b.total_cycles,
+                "peak_frac": b.gflops / (ctx.machine.peak_gflops() * t),
+            }
+        )
+    return rows
+
+
+def threaded_instance_time_data(
+    instances,
+    ctx: EvalContext,
+    threads: Tuple[int, ...],
+) -> List[dict]:
+    """Cumulative end-to-end workload time per thread count.
+
+    The threaded variant of the Figure 16/18 sweeps: the generated
+    family (ALG+EXO) runs every layer instance at each thread count;
+    rows accumulate seconds per column ``t<threads>``.
+    """
+    totals = {t: 0.0 for t in threads}
+    cache: Dict[Tuple[int, int], float] = {}
+    rows = []
+    for number, layer in instances:
+        for t in threads:
+            key = (layer.layer_id, t)
+            if key not in cache:
+                cache[key] = exo_parallel_breakdown(
+                    layer.m, layer.n, layer.k, t, ctx=ctx
+                ).seconds
+            totals[t] += cache[key]
+        rows.append(
+            {
+                "layer_number": number,
+                **{f"t{t}": totals[t] for t in threads},
             }
         )
     return rows

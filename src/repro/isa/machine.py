@@ -54,6 +54,17 @@ class MachineModel:
     #: RVV "chime": >1 models a datapath narrower than the register
     #: (e.g. VLEN=128 over a 64-bit datapath executes in 2 chimes)
     vector_chime: int = 1
+    #: physical cores on the socket available to thread-level parallelism
+    cores: int = 1
+    #: whether the last-level cache is shared by every core — when False
+    #: (the typical no-L3 RISC-V SoC: private L2 behind each cluster) the
+    #: packed B panel cannot be shared between row-parallel threads and
+    #: the partitioner parallelizes the jc loop only
+    shared_l3: bool = True
+    #: aggregate DRAM bandwidth of the socket; a single core's streams
+    #: are limited by ``dram_bandwidth_bytes_per_cycle``, and adding
+    #: cores raises the achievable bandwidth only up to this ceiling
+    socket_dram_bandwidth_bytes_per_cycle: float = 0.0
 
     def pipe_count(self, pipe: str) -> int:
         for name, count in self.pipes:
@@ -85,6 +96,30 @@ class MachineModel:
     def has_cache(self, name: str) -> bool:
         return any(level.name == name for level in self.caches)
 
+    @property
+    def has_shared_l3(self) -> bool:
+        """Whether threads can share packed panels through a common LLC.
+
+        True only when an L3 level exists *and* it is shared — the
+        ``shared_l3`` flag alone is not enough on a no-L3 edge core.
+        """
+        return self.shared_l3 and self.has_cache("L3")
+
+    def stream_bandwidth(self, threads: int) -> float:
+        """Achievable DRAM bandwidth (bytes/cycle) for ``threads`` cores.
+
+        One core cannot saturate the socket: its streams are bounded by
+        the per-core ``dram_bandwidth_bytes_per_cycle``.  Adding cores
+        adds stream engines until the socket ceiling; a model without an
+        explicit socket figure keeps the single-core bound (so the
+        serial path is unchanged).
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        per_core = self.dram_bandwidth_bytes_per_cycle
+        socket = self.socket_dram_bandwidth_bytes_per_cycle or per_core
+        return min(threads * per_core, max(socket, per_core))
+
 
 CARMEL = MachineModel(
     name="NVIDIA Carmel (Jetson AGX Xavier)",
@@ -102,6 +137,9 @@ CARMEL = MachineModel(
     ),
     dram_latency_cycles=190,
     dram_bandwidth_bytes_per_cycle=10.0,
+    cores=8,
+    shared_l3=True,
+    socket_dram_bandwidth_bytes_per_cycle=40.0,
 )
 """The paper's evaluation platform: one Carmel core @ 2.3 GHz.
 
@@ -125,6 +163,9 @@ GENERIC_ARM = MachineModel(
     ),
     dram_latency_cycles=150,
     dram_bandwidth_bytes_per_cycle=6.0,
+    cores=4,
+    shared_l3=True,
+    socket_dram_bandwidth_bytes_per_cycle=15.0,
 )
 """A smaller in-order configuration used by ablation benchmarks."""
 
@@ -145,6 +186,9 @@ AVX512_SERVER = MachineModel(
     dram_latency_cycles=200,
     dram_bandwidth_bytes_per_cycle=12.0,
     isa="avx512",
+    cores=16,
+    shared_l3=True,
+    socket_dram_bandwidth_bytes_per_cycle=64.0,
 )
 """Portability target for the Section III-C retargeting story."""
 
@@ -166,6 +210,10 @@ RVV_EDGE_VLEN128 = MachineModel(
     dram_bandwidth_bytes_per_cycle=4.0,
     isa="rvv128",
     vector_chime=2,
+    cores=4,
+    # no L3 behind the cluster L2: threads cannot share packed panels
+    shared_l3=False,
+    socket_dram_bandwidth_bytes_per_cycle=8.0,
 )
 """A dual-issue in-order RVV 1.0 edge core (C908/U74-class): 128-bit
 vector registers over a 64-bit datapath, so every vector op takes two
@@ -189,6 +237,9 @@ RVV_SERVER_VLEN256 = MachineModel(
     dram_latency_cycles=180,
     dram_bandwidth_bytes_per_cycle=10.0,
     isa="rvv256",
+    cores=8,
+    shared_l3=True,
+    socket_dram_bandwidth_bytes_per_cycle=48.0,
 )
 """A wide OoO RVV application core (P670/Veyron-class): VLEN=256 with a
 full-width datapath.  Peak FP32 = 2 x 8 x 2 x 2.0 = 64 GFLOPS."""

@@ -13,15 +13,30 @@ micro-architectural model with the same observable mechanisms:
   packing traffic, C streaming, per-level residency of the BLIS tiles.
 * :mod:`repro.sim.timing` — composition: solo-mode kernel timing and
   five-loop GEMM timing.
+* :mod:`repro.sim.parallel` — the multi-threaded execution model: the
+  jc/ic thread partitioner and the threaded GEMM breakdown.
 """
 
+from .parallel import (
+    ParallelBreakdown,
+    ThreadPartition,
+    parallel_gemm_breakdown,
+    partition_plane,
+    scaling_curve,
+)
 from .pipeline import KernelTrace, PipelineModel, trace_from_kernel
-from .timing import gemm_time_model, solo_kernel_gflops
+from .timing import gemm_time_model, plans_compute_cycles, solo_kernel_gflops
 
 __all__ = [
     "KernelTrace",
+    "ParallelBreakdown",
     "PipelineModel",
+    "ThreadPartition",
     "gemm_time_model",
+    "parallel_gemm_breakdown",
+    "partition_plane",
+    "plans_compute_cycles",
+    "scaling_curve",
     "solo_kernel_gflops",
     "trace_from_kernel",
 ]

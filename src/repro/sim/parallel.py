@@ -1,39 +1,284 @@
-"""Multi-core scaling model (the paper's future-work direction).
+"""Multi-threaded GEMM execution model (the paper's future-work direction).
 
-The paper evaluates a single Carmel core; the Jetson AGX Xavier has eight.
-BLIS parallelizes the jc/ic loops across cores, so to first order the
-compute and packing work divide by the thread count while the DRAM
-bandwidth and the shared L3 are contended.  This module extends the GEMM
-timing model with that first-order behaviour: near-linear scaling while
-compute-bound, saturation once the memory streams dominate.
+The paper evaluates a single Carmel core; the Jetson AGX Xavier has
+eight.  BLIS parallelizes the jc loop (columns of B/C) and the ic loop
+(rows of A/C) across cores.  This module makes that a first-class model:
 
-This is deliberately simple — enough to answer "when does the kernel story
-stop being the bottleneck" — and is exercised by the scaling ablation
-benchmark.
+* :func:`partition_plane` splits the (m, n) traversal into a
+  ``jc_ways x ic_ways`` grid of contiguous, register-tile-aligned
+  thread slices — residue-aware, so uneven extents spread by at most
+  one tile column/row and the ragged remainder rides in the last slice;
+* :func:`parallel_gemm_breakdown` charges each thread its own chunk
+  plans (built per slice, so edge/tail kernels — including reduced-
+  ``vsetvl`` VLA tails — compose with uneven partitions), divides the
+  private A-block packing, charges the *shared* B panel once per column
+  group (not divided by the row-parallel thread count), and bounds the
+  whole ensemble by the achievable DRAM stream bandwidth of the socket.
+
+The machine's core topology (``cores``, ``shared_l3``,
+``socket_dram_bandwidth_bytes_per_cycle`` on
+:class:`repro.isa.machine.MachineModel`) drives the partition choice: a
+core without a shared last-level cache cannot share packed B panels
+between row-parallel threads, so the partitioner parallelizes jc only
+and any forced ic split replicates the panel's DRAM traffic.
+
+A one-thread partition reproduces :func:`repro.sim.timing.gemm_time_model`
+exactly — both paths run the same compute formula
+(:func:`repro.sim.timing.plans_compute_cycles`) and the same analytical
+memory model.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
-from repro.isa.machine import CARMEL, MachineModel
+from repro.isa.machine import MachineModel
 
 from .memory import GemmShape, TileParams, memory_cost
-from .timing import ChunkPlan, TimingModel, gemm_time_model
+from .timing import ChunkPlan, TimingModel, plans_compute_cycles
+
+#: builds the chunk plans covering one (m, n) sub-plane — the hook
+#: through which per-thread edge/tail kernel selection happens
+PlanBuilder = Callable[[int, int], List[ChunkPlan]]
+
+
+# ---------------------------------------------------------------------------
+# Thread partitioner
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A contiguous range of one GEMM dimension owned by one way."""
+
+    start: int
+    extent: int
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.extent
+
+
+def partition_extent(
+    extent: int, ways: int, granule: int
+) -> Tuple[Span, ...]:
+    """Residue-aware split of ``extent`` into at most ``ways`` spans.
+
+    The extent is measured in ``granule``-sized tiles (the register-tile
+    height or width); tiles distribute as evenly as possible (spans
+    differ by at most one tile) and the ragged sub-``granule`` remainder
+    rides in the final span, where the per-slice plan builder selects an
+    edge/tail kernel for it.  When there are fewer tiles than ways the
+    surplus ways receive no span — they would have no tile to run.
+    """
+    if extent <= 0:
+        raise ValueError(f"extent must be positive, got {extent}")
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    if granule < 1:
+        raise ValueError(f"granule must be >= 1, got {granule}")
+    tiles = math.ceil(extent / granule)
+    ways = min(ways, tiles)
+    base, rem = divmod(tiles, ways)
+    spans: List[Span] = []
+    start = 0
+    for w in range(ways):
+        count = base + (1 if w < rem else 0)
+        stop = min(start + count * granule, extent)
+        spans.append(Span(start=start, extent=stop - start))
+        start = stop
+    return tuple(spans)
+
+
+@dataclass(frozen=True)
+class ThreadSlice:
+    """One thread's sub-plane of the (m, n) traversal."""
+
+    thread: int
+    jc: int  #: column-group index (which B-panel slice it works on)
+    ic: int  #: row-group index within the column group
+    rows: Span
+    cols: Span
+
+    @property
+    def m(self) -> int:
+        return self.rows.extent
+
+    @property
+    def n(self) -> int:
+        return self.cols.extent
+
+
+@dataclass(frozen=True)
+class ThreadPartition:
+    """A jc x ic decomposition of the (m, n) plane into thread slices."""
+
+    threads: int  #: requested thread count (slices may be fewer)
+    jc_ways: int
+    ic_ways: int
+    slices: Tuple[ThreadSlice, ...]
+
+    @property
+    def active_threads(self) -> int:
+        return len(self.slices)
+
+
+def candidate_grids(
+    threads: int,
+    m: int,
+    n: int,
+    machine: MachineModel,
+    mr: int,
+    nr: int,
+) -> List[Tuple[int, int]]:
+    """Distinct ``(jc_ways, ic_ways)`` grids with ``jc * ic <= threads``.
+
+    The single enumeration behind both :func:`split_ways` and
+    :func:`parallel_gemm_breakdown`'s partition search.  A prime thread
+    count may leave a core idle rather than accept a pathological 1-D
+    split, which also keeps the modelled time monotone in the thread
+    count (the candidate set only grows with it).  Each jc takes the
+    largest row split it affords — a deeper ic split never hurts the
+    critical path, so intermediates are skipped.  A machine without a
+    shared LLC cannot share packed B panels between row-parallel
+    threads, so it gets the jc-only grid.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if threads == 1:
+        return [(1, 1)]
+    if not machine.has_shared_l3:
+        return [(threads, 1)]
+    row_tiles = math.ceil(m / mr)
+    col_tiles = math.ceil(n / nr)
+    seen = set()
+    grids: List[Tuple[int, int]] = []
+    for jc in range(1, threads + 1):
+        ic = threads // jc
+        effective = (min(jc, col_tiles), min(ic, row_tiles))
+        if effective in seen:
+            continue
+        seen.add(effective)
+        grids.append((jc, ic))
+    return grids
+
+
+def split_ways(
+    threads: int,
+    m: int,
+    n: int,
+    machine: MachineModel,
+    mr: int,
+    nr: int,
+) -> Tuple[int, int]:
+    """Choose the ``jc_ways x ic_ways`` factorization of ``threads``.
+
+    This is the cheap standalone heuristic (used by
+    :func:`partition_plane` when no ways are pinned): every candidate
+    grid (:func:`candidate_grids`) is scored by the largest slice it
+    produces in register tiles, residue-aware, and the smallest wins;
+    ties prefer more jc ways, whose smaller B-panel slices ease LLC
+    pressure.  :func:`parallel_gemm_breakdown` refines this by ranking
+    the same candidate grids on their exact modelled wall clock.
+    """
+    row_tiles = math.ceil(m / mr)
+    col_tiles = math.ceil(n / nr)
+    best: Optional[Tuple[int, int, int]] = None
+    for jc, ic in candidate_grids(threads, m, n, machine, mr, nr):
+        score = math.ceil(col_tiles / min(jc, col_tiles)) * math.ceil(
+            row_tiles / min(ic, row_tiles)
+        )
+        if best is None or (score, -jc) < (best[0], -best[1]):
+            best = (score, jc, ic)
+    return (best[1], best[2])
+
+
+def partition_plane(
+    m: int,
+    n: int,
+    threads: int,
+    machine: MachineModel,
+    mr: int,
+    nr: int,
+    jc_ways: Optional[int] = None,
+    ic_ways: Optional[int] = None,
+) -> ThreadPartition:
+    """Split an (m, n) plane into per-thread slices.
+
+    The factorization defaults to :func:`split_ways`; passing
+    ``jc_ways``/``ic_ways`` pins it (both must be given together).
+    Slices tile the plane exactly — no overlap, no gap — with column
+    spans aligned to ``nr`` and row spans to ``mr`` except for the
+    ragged remainders, which stay in the trailing slices.
+    """
+    if (jc_ways is None) != (ic_ways is None):
+        raise ValueError("pass both jc_ways and ic_ways, or neither")
+    if jc_ways is None:
+        jc_ways, ic_ways = split_ways(threads, m, n, machine, mr, nr)
+    col_spans = partition_extent(n, jc_ways, nr)
+    row_spans = partition_extent(m, ic_ways, mr)
+    slices = tuple(
+        ThreadSlice(
+            thread=jc * len(row_spans) + ic,
+            jc=jc,
+            ic=ic,
+            rows=rows,
+            cols=cols,
+        )
+        for jc, cols in enumerate(col_spans)
+        for ic, rows in enumerate(row_spans)
+    )
+    return ThreadPartition(
+        threads=threads,
+        jc_ways=len(col_spans),
+        ic_ways=len(row_spans),
+        slices=slices,
+    )
+
+
+def _candidate_partitions(
+    m: int,
+    n: int,
+    threads: int,
+    machine: MachineModel,
+    mr: int,
+    nr: int,
+) -> List[ThreadPartition]:
+    """Partitions of every candidate grid, for exact wall-clock ranking."""
+    return [
+        partition_plane(
+            m, n, threads, machine, mr, nr, jc_ways=jc, ic_ways=ic
+        )
+        for jc, ic in candidate_grids(threads, m, n, machine, mr, nr)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Threaded GEMM breakdown
+# ---------------------------------------------------------------------------
 
 
 @dataclass
 class ParallelBreakdown:
-    """Modelled multi-threaded GEMM time."""
+    """Modelled multi-threaded GEMM time.
+
+    The cycle components are those of the *critical* thread (the one
+    whose busy time sets the wall clock); ``thread_busy_cycles`` keeps
+    the full per-thread distribution for imbalance analysis.
+    """
 
     threads: int
+    jc_ways: int
+    ic_ways: int
     compute_cycles: float
     pack_cycles: float
     c_stall_cycles: float
     dram_limit_cycles: float
     flops: int
     machine: MachineModel
+    thread_busy_cycles: Tuple[float, ...] = ()
 
     @property
     def total_cycles(self) -> float:
@@ -49,56 +294,143 @@ class ParallelBreakdown:
         return self.total_cycles / (self.machine.freq_ghz * 1e9)
 
 
-def parallel_gemm_time(
+def parallel_gemm_breakdown(
     shape: GemmShape,
-    chunk_plans: List[ChunkPlan],
     tiles: TileParams,
     threads: int,
+    *,
+    machine: MachineModel,
+    plan_builder: PlanBuilder,
     prefetch_c: bool = False,
-    machine: MachineModel = CARMEL,
     model: Optional[TimingModel] = None,
+    partition: Optional[ThreadPartition] = None,
+    dtype_bytes: int = 4,
 ) -> ParallelBreakdown:
     """Model a GEMM across ``threads`` cores.
 
-    Compute, packing, and exposed C stalls divide across threads (the jc/ic
-    loops partition cleanly at these problem sizes); the DRAM stream is a
-    shared resource and does not scale.
+    ``plan_builder(m_t, n_t)`` supplies the chunk plans covering one
+    thread's sub-plane, so each slice gets its own edge/tail kernel
+    selection (a VLA tail re-selects against the slice's ragged extents,
+    not the global ones).  Cost attribution:
+
+    * **compute** — each thread runs its own plans; the wall clock is
+      the busiest thread.
+    * **A packing** — private per thread: its row block, repacked once
+      per jc iteration of its own column group.
+    * **B packing** — the panel is *shared* within a column group:
+      charged once per group (every row-parallel thread waits on the
+      full slice pack), never divided by ``ic_ways``.  Without a shared
+      L3 the panel cannot be shared at all, so a forced ic split
+      replicates its DRAM read per row-parallel thread.
+    * **DRAM ceiling** — total traffic over the achievable stream
+      bandwidth, which grows with active threads up to the socket limit
+      (:meth:`repro.isa.machine.MachineModel.stream_bandwidth`).
+
+    When no ``partition`` is pinned, every candidate grid
+    (:func:`_candidate_partitions`) is ranked by its exact modelled
+    wall clock and the best one executes — the partition choice sees
+    packing replication and edge-kernel costs, not just tile counts.
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
-    single = gemm_time_model(
-        shape,
-        chunk_plans,
-        tiles,
-        prefetch_c=prefetch_c,
-        machine=machine,
-        model=model,
+    model = model or TimingModel(machine=machine)
+    mem = memory_cost(
+        shape, tiles, machine=machine,
+        dtype_bytes=dtype_bytes, prefetch_c=prefetch_c,
     )
-    mem = memory_cost(shape, tiles, machine=machine, prefetch_c=prefetch_c)
-    dram_limit = mem.dram_bytes / machine.dram_bandwidth_bytes_per_cycle
+    m, n = shape.m, shape.n
+    jc_iters_total = max(1, math.ceil(n / tiles.nc))
+    total_tiles = max(1, math.ceil(m / tiles.mr)) * max(
+        1, math.ceil(n / tiles.nr)
+    )
+
+    # distinct slice shapes per partition are few (base/base+1 tile
+    # spans plus the ragged tail), so memoize the per-shape work
+    plan_cache: dict = {}
+
+    def slice_parts(sl: ThreadSlice) -> Tuple[float, float, float]:
+        key = (sl.m, sl.n)
+        if key not in plan_cache:
+            compute_t = plans_compute_cycles(
+                plan_builder(sl.m, sl.n), shape.k, tiles.kc, model
+            )
+            jc_iters_t = max(1, math.ceil(sl.n / tiles.nc))
+            pack_a_t = mem.pack_a_cycles * (sl.m * jc_iters_t) / (
+                m * jc_iters_total
+            )
+            # the group's B slice is packed once and shared by its ic
+            # threads: every one is charged the full slice pack — never
+            # divided by ic_ways
+            pack_b_t = mem.pack_b_cycles * sl.n / n
+            tiles_t = max(1, math.ceil(sl.m / tiles.mr)) * max(
+                1, math.ceil(sl.n / tiles.nr)
+            )
+            c_stall_t = mem.c_stall_cycles * tiles_t / total_tiles
+            plan_cache[key] = (compute_t, pack_a_t + pack_b_t, c_stall_t)
+        return plan_cache[key]
+
+    def dram_limit_for(part: ThreadPartition) -> float:
+        dram_bytes = mem.dram_bytes
+        if part.ic_ways > 1 and not machine.has_shared_l3:
+            # no shared LLC: each row-parallel thread streams its own
+            # copy of the group's B panel from memory
+            dram_bytes += (part.ic_ways - 1) * shape.k * n * dtype_bytes
+        return dram_bytes / machine.stream_bandwidth(part.active_threads)
+
+    def wall_clock(part: ThreadPartition) -> float:
+        busy = max(sum(slice_parts(sl)) for sl in part.slices)
+        return max(busy, dram_limit_for(part))
+
+    if partition is None:
+        partition = min(
+            _candidate_partitions(
+                m, n, threads, machine, tiles.mr, tiles.nr
+            ),
+            key=lambda p: (wall_clock(p), -p.jc_ways, p.ic_ways),
+        )
+
+    busy: List[float] = []
+    components: List[Tuple[float, float, float]] = []
+    for sl in partition.slices:
+        compute_t, pack_t, stall_t = slice_parts(sl)
+        busy.append(compute_t + pack_t + stall_t)
+        components.append((compute_t, pack_t, stall_t))
+    dram_limit = dram_limit_for(partition)
+
+    critical = max(range(len(busy)), key=busy.__getitem__)
+    compute_c, pack_c, stall_c = components[critical]
     return ParallelBreakdown(
         threads=threads,
-        compute_cycles=single.compute_cycles / threads,
-        pack_cycles=single.pack_cycles / threads,
-        c_stall_cycles=single.c_stall_cycles / threads,
+        jc_ways=partition.jc_ways,
+        ic_ways=partition.ic_ways,
+        compute_cycles=compute_c,
+        pack_cycles=pack_c,
+        c_stall_cycles=stall_c,
         dram_limit_cycles=dram_limit,
         flops=shape.flops,
         machine=machine,
+        thread_busy_cycles=tuple(busy),
     )
 
 
 def scaling_curve(
     shape: GemmShape,
-    chunk_plans: List[ChunkPlan],
     tiles: TileParams,
-    max_threads: int = 8,
-    machine: MachineModel = CARMEL,
+    *,
+    machine: MachineModel,
+    plan_builder: PlanBuilder,
+    max_threads: Optional[int] = None,
+    prefetch_c: bool = False,
     model: Optional[TimingModel] = None,
 ) -> List[ParallelBreakdown]:
-    """Breakdowns for 1..max_threads cores."""
+    """Breakdowns for 1..max_threads cores (default: the machine's)."""
+    limit = max_threads if max_threads is not None else machine.cores
+    model = model or TimingModel(machine=machine)
     return [
-        parallel_gemm_time(
-            shape, chunk_plans, tiles, t, machine=machine, model=model
+        parallel_gemm_breakdown(
+            shape, tiles, t,
+            machine=machine, plan_builder=plan_builder,
+            prefetch_c=prefetch_c, model=model,
         )
-        for t in range(1, max_threads + 1)
+        for t in range(1, limit + 1)
     ]

@@ -136,6 +136,36 @@ class GemmTimeBreakdown:
         return self.flops / self.total_cycles * self.machine.freq_ghz
 
 
+def plans_compute_cycles(
+    chunk_plans: List[ChunkPlan],
+    k: int,
+    kc: int,
+    model: TimingModel,
+) -> float:
+    """Compute cycles of a chunk-plan list over the k extent.
+
+    The k extent splits into full ``kc`` chunks plus one ragged
+    remainder; every plan runs once per pc iteration.  This is the
+    single compute formula of the timing model — the serial
+    :func:`gemm_time_model` and the per-thread sums of
+    :func:`repro.sim.parallel.parallel_gemm_breakdown` both call it, so
+    a one-thread partition reproduces the serial compute exactly.
+    """
+    kc_full, kc_rem = divmod(k, kc)
+    compute = 0.0
+    for plan in chunk_plans:
+        timing = model.timing_for(plan.trace, plan.mr, plan.nr)
+        cycles = kc_full * model.invocation_cycles(
+            timing, kc, plan.call_overhead
+        )
+        if kc_rem:
+            cycles += model.invocation_cycles(
+                timing, kc_rem, plan.call_overhead
+            )
+        compute += plan.count * cycles
+    return compute
+
+
 def gemm_time_model(
     shape: GemmShape,
     chunk_plans: List[ChunkPlan],
@@ -152,18 +182,7 @@ def gemm_time_model(
     costs come from the analytical memory model.
     """
     model = model or TimingModel(machine=machine)
-    kc_full, kc_rem = divmod(shape.k, tiles.kc)
-    compute = 0.0
-    for plan in chunk_plans:
-        timing = model.timing_for(plan.trace, plan.mr, plan.nr)
-        cycles = kc_full * model.invocation_cycles(
-            timing, tiles.kc, plan.call_overhead
-        )
-        if kc_rem:
-            cycles += model.invocation_cycles(
-                timing, kc_rem, plan.call_overhead
-            )
-        compute += plan.count * cycles
+    compute = plans_compute_cycles(chunk_plans, shape.k, tiles.kc, model)
 
     mem = memory_cost(shape, tiles, machine=machine, prefetch_c=prefetch_c)
     pack = mem.pack_a_cycles + mem.pack_b_cycles

@@ -40,6 +40,7 @@ from .space import (
     enumerate_space,
     enumerate_tiles,
     fallback_tile,
+    parse_threads,
     problem_set,
     rank_key,
     resolve_isas,
@@ -64,6 +65,7 @@ __all__ = [
     "enumerate_tiles",
     "fallback_tile",
     "load_artifact",
+    "parse_threads",
     "problem_set",
     "rank_key",
     "record_from_breakdown",
@@ -80,8 +82,11 @@ __all__ = [
 RANK = "(total_cycles, mr * nr, (mr, nr))"
 
 
-def _problem_id(m: int, n: int, k: int) -> str:
-    return f"{m}x{n}x{k}"
+def _problem_id(m: int, n: int, k: int, threads: int = 1) -> str:
+    """Artifact key for one problem: serial entries keep the historical
+    ``MxNxK`` spelling; threaded entries append ``@tN``."""
+    base = f"{m}x{n}x{k}"
+    return base if threads == 1 else f"{base}@t{threads}"
 
 
 def sweep(
@@ -89,32 +94,40 @@ def sweep(
     problems: Iterable[Tuple[int, int, int]],
     workers: int = 0,
     cache: Optional[TuneCache] = None,
+    threads: Union[str, Iterable[int]] = (1,),
 ) -> dict:
-    """Tune every (machine, problem) pair and return the winner artifact.
+    """Tune every (machine, problem, thread count) and return the winner
+    artifact.
 
     The artifact is plain JSON data::
 
-        {"model_version": ..., "machines": {isa: {
+        {"model_version": ..., "threads": [...], "machines": {isa: {
             "machine": name, "vlen": bits,
-            "best": {"MxNxK": {"kernel": [mr, nr], "total_cycles": ...,
-                               "gflops": ..., "candidates": count}}}}}
+            "best": {"MxNxK":    {"kernel": [mr, nr], ...},
+                     "MxNxK@t4": {"kernel": [mr, nr], "threads": 4,
+                                  ...}}}}}
+
+    Serial winners keep their historical keys, so artifacts tuned with
+    ``threads=(1,)`` are byte-compatible consumers' expectations.
     """
     from repro.isa.targets import target
 
-    jobs = enumerate_space(isas, problems)
+    thread_axis = parse_threads(threads)
+    jobs = enumerate_space(isas, problems, threads=thread_axis)
     records = run_jobs(jobs, workers=workers, cache=cache)
 
-    best: Dict[Tuple[str, Tuple[int, int, int]], tuple] = {}
-    counts: Dict[Tuple[str, Tuple[int, int, int]], int] = {}
+    Slot = Tuple[str, Tuple[int, int, int], int]
+    best: Dict[Slot, tuple] = {}
+    counts: Dict[Slot, int] = {}
     for job, record in zip(jobs, records):
-        slot = (job.isa, job.problem)
+        slot = (job.isa, job.problem, job.threads)
         counts[slot] = counts.get(slot, 0) + 1
         rank = rank_key(record["total_cycles"], job.tile)
         if slot not in best or rank < best[slot][0]:
             best[slot] = (rank, job, record)
 
     machines: Dict[str, dict] = {}
-    for (isa, problem), (_, job, record) in best.items():
+    for (isa, problem, nthreads), (_, job, record) in best.items():
         if isa not in machines:
             t = target(isa)
             machines[isa] = {
@@ -122,25 +135,29 @@ def sweep(
                 "vlen": t.machine.vector_bits,
                 "best": {},
             }
-        machines[isa]["best"][_problem_id(*problem)] = {
+        entry = {
             "kernel": list(job.tile),
             "total_cycles": record["total_cycles"],
             "gflops": record["gflops"],
             "seconds": breakdown_from_record(record).seconds,
-            "candidates": counts[(isa, problem)],
+            "candidates": counts[(isa, problem, nthreads)],
         }
+        if nthreads != 1:
+            entry["threads"] = nthreads
+        machines[isa]["best"][_problem_id(*problem, nthreads)] = entry
     return {
         "model_version": MODEL_VERSION,
         "rank": RANK,
+        "threads": list(thread_axis),
         "machines": machines,
     }
 
 
 def best_kernel(
-    artifact: dict, isa: str, m: int, n: int, k: int
+    artifact: dict, isa: str, m: int, n: int, k: int, threads: int = 1
 ) -> Tuple[Tuple[int, int], dict]:
-    """The tuned winner for one (machine, problem) from an artifact."""
-    entry = artifact["machines"][isa]["best"][_problem_id(m, n, k)]
+    """The tuned winner for one (machine, problem, thread count)."""
+    entry = artifact["machines"][isa]["best"][_problem_id(m, n, k, threads)]
     mr, nr = entry["kernel"]
     return (mr, nr), entry
 

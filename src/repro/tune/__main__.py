@@ -19,7 +19,7 @@ from repro.eval.report import render_table
 from . import save_artifact, sweep
 from .cache import TuneCache, default_cache_root
 from .executor import breakdown_calls, reset_breakdown_calls
-from .space import problem_set, resolve_isas
+from .space import parse_threads, problem_set, resolve_isas
 
 
 def _parse_args(argv):
@@ -42,6 +42,12 @@ def _parse_args(argv):
         type=int,
         default=1,
         help="worker processes; <=1 evaluates serially in-process",
+    )
+    parser.add_argument(
+        "--threads",
+        default="1",
+        help="comma-separated GEMM thread counts to tune for, e.g. "
+        "1,2,4,8 (default 1: the serial model)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -93,6 +99,7 @@ def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
     try:
         problems = problem_set(args.shapes)
+        thread_axis = parse_threads(args.threads)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
@@ -108,23 +115,32 @@ def main(argv=None) -> int:
         cache = TuneCache(args.cache_dir or default_cache_root())
     reset_breakdown_calls()
     t0 = time.time()
-    artifact = sweep(isa_names, problems, workers=args.workers, cache=cache)
+    artifact = sweep(
+        isa_names,
+        problems,
+        workers=args.workers,
+        cache=cache,
+        threads=thread_axis,
+    )
     elapsed = time.time() - t0
 
     for isa in isa_names:
         info = artifact["machines"][isa]
         rows = []
         for m, n, k in problems:
-            entry = info["best"][f"{m}x{n}x{k}"]
-            mr, nr = entry["kernel"]
-            rows.append(
-                {
-                    "shape": f"{m}x{n}x{k}",
-                    "kernel": f"{mr}x{nr}",
-                    "GFLOPS": entry["gflops"],
-                    "candidates": entry["candidates"],
-                }
-            )
+            for nthreads in thread_axis:
+                suffix = "" if nthreads == 1 else f"@t{nthreads}"
+                entry = info["best"][f"{m}x{n}x{k}{suffix}"]
+                mr, nr = entry["kernel"]
+                rows.append(
+                    {
+                        "shape": f"{m}x{n}x{k}",
+                        "threads": nthreads,
+                        "kernel": f"{mr}x{nr}",
+                        "GFLOPS": entry["gflops"],
+                        "candidates": entry["candidates"],
+                    }
+                )
         print(render_table(rows, title=f"{isa} — {info['machine']}"))
         print()
 
@@ -145,6 +161,13 @@ def main(argv=None) -> int:
     print(f"wrote {out}")
 
     if args.verify:
+        if 1 not in thread_axis:
+            print(
+                "verify: skipped (select_kernel_for is the serial path; "
+                "re-run with 1 in --threads)",
+                file=sys.stderr,
+            )
+            return 0
         return 1 if _verify(artifact, isa_names, problems) else 0
     return 0
 

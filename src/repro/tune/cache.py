@@ -1,11 +1,11 @@
 """The persistent kernel/timing cache behind the autotuner.
 
 Every candidate evaluation — one modelled GEMM breakdown for one
-(machine, main tile, problem) triple — is content-addressed by a SHA-256
-digest over ``(isa, vlen, mr, nr, m, n, k, model_version)`` and stored
-as one JSON file under ``out/tunecache/<isa>/``.  A warm re-run of the
-tuner (or of cache-backed kernel selection) then never calls the timing
-model at all.
+(machine, main tile, problem, thread count) tuple — is content-addressed
+by a SHA-256 digest over ``(isa, vlen, mr, nr, m, n, k, threads,
+model_version)`` and stored as one JSON file under
+``out/tunecache/<isa>/``.  A warm re-run of the tuner (or of
+cache-backed kernel selection) then never calls the timing model at all.
 
 Invalidation is part of the key: ``model_version`` combines the
 hand-bumped :data:`MODEL_VERSION` with a fingerprint of the machine
@@ -53,6 +53,7 @@ class CacheKey:
     n: int
     k: int
     model_version: str
+    threads: int = 1
 
     def payload(self) -> Dict[str, object]:
         return {
@@ -63,6 +64,7 @@ class CacheKey:
             "m": self.m,
             "n": self.n,
             "k": self.k,
+            "threads": self.threads,
             "model_version": self.model_version,
         }
 
@@ -76,8 +78,9 @@ def cache_key(
     machine: MachineModel,
     tile: Tuple[int, int],
     problem: Tuple[int, int, int],
+    threads: int = 1,
 ) -> CacheKey:
-    """Key one (machine, main tile, GEMM shape) evaluation."""
+    """Key one (machine, main tile, GEMM shape, thread count) evaluation."""
     return CacheKey(
         isa=machine.isa,
         vlen=machine.vector_bits,
@@ -86,6 +89,7 @@ def cache_key(
         m=problem[0],
         n=problem[1],
         k=problem[2],
+        threads=threads,
         model_version=f"{MODEL_VERSION}:{machine_fingerprint(machine)}",
     )
 

@@ -64,20 +64,33 @@ def _context_for(isa: str):
 
 
 def evaluate_candidate(
-    isa: str, mr: int, nr: int, m: int, n: int, k: int
+    isa: str, mr: int, nr: int, m: int, n: int, k: int, threads: int = 1
 ) -> Dict[str, float]:
-    """Run the timing model for one candidate and return its record."""
+    """Run the timing model for one candidate and return its record.
+
+    ``threads=1`` runs the serial five-loop model; larger counts run the
+    multi-threaded execution model (:mod:`repro.sim.parallel`) with the
+    same candidate as the main tile, so serial records are bit-identical
+    to the pre-threading tuner's.
+    """
     global _breakdown_calls
     _breakdown_calls += 1
     from repro.eval import harness
 
     ctx = _context_for(isa)
-    breakdown = harness.exo_gemm_breakdown(m, n, k, main=(mr, nr), ctx=ctx)
+    if threads == 1:
+        breakdown = harness.exo_gemm_breakdown(
+            m, n, k, main=(mr, nr), ctx=ctx
+        )
+    else:
+        breakdown = harness.exo_parallel_breakdown(
+            m, n, k, threads, ctx=ctx, main=(mr, nr)
+        )
     return record_from_breakdown(breakdown)
 
 
 def _evaluate_chunk(
-    isa: str, tiles: Sequence[Tuple[int, int, int, int, int]]
+    isa: str, tiles: Sequence[Tuple[int, int, int, int, int, int]]
 ) -> List[Dict[str, float]]:
     return [evaluate_candidate(isa, *spec) for spec in tiles]
 
@@ -116,7 +129,10 @@ def run_jobs(
     for i, job in enumerate(jobs):
         if cache is not None:
             keys[i] = cache_key(
-                target(job.isa).machine, job.tile, job.problem
+                target(job.isa).machine,
+                job.tile,
+                job.problem,
+                threads=job.threads,
             )
             record = cache.get(keys[i])
             if record is not None:
@@ -132,7 +148,14 @@ def run_jobs(
             futures = {}
             for isa, indices in chunks:
                 specs = [
-                    (jobs[i].mr, jobs[i].nr, jobs[i].m, jobs[i].n, jobs[i].k)
+                    (
+                        jobs[i].mr,
+                        jobs[i].nr,
+                        jobs[i].m,
+                        jobs[i].n,
+                        jobs[i].k,
+                        jobs[i].threads,
+                    )
                     for i in indices
                 ]
                 futures[pool.submit(_evaluate_chunk, isa, specs)] = indices
@@ -151,7 +174,13 @@ def run_jobs(
         for i in pending:
             job = jobs[i]
             results[i] = evaluate_candidate(
-                job.isa, job.mr, job.nr, job.m, job.n, job.k
+                job.isa,
+                job.mr,
+                job.nr,
+                job.m,
+                job.n,
+                job.k,
+                threads=job.threads,
             )
             if cache is not None:
                 cache.put(keys[i], results[i])

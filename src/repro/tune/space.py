@@ -26,7 +26,7 @@ candidates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple, Union
 
 from repro.isa.targets import ISA_TARGETS, target
 
@@ -36,7 +36,8 @@ Tile = Tuple[int, int]
 
 @dataclass(frozen=True)
 class TuneJob:
-    """One candidate evaluation: a main tile on a GEMM shape of one ISA."""
+    """One candidate evaluation: a main tile on a GEMM shape of one ISA,
+    executed on ``threads`` cores (1 = the serial model)."""
 
     isa: str
     mr: int
@@ -44,6 +45,7 @@ class TuneJob:
     m: int
     n: int
     k: int
+    threads: int = 1
 
     @property
     def tile(self) -> Tile:
@@ -118,15 +120,34 @@ def candidate_tiles(
 
 
 def jobs_for_machine(
-    isa: str, problems: Iterable[Problem]
+    isa: str,
+    problems: Iterable[Problem],
+    threads: Sequence[int] = (1,),
 ) -> List[TuneJob]:
-    """Expand one ISA's family over a problem set, in deterministic order."""
+    """Expand one ISA's family over a problem set, in deterministic order.
+
+    ``threads`` is the enumeration's third axis: every candidate tile is
+    proposed at every thread count — the tuned winner for one (machine,
+    problem) can differ between the serial and threaded executions, so
+    each count ranks independently.
+    """
     t = target(isa)
     vla = t.vla
     jobs: List[TuneJob] = []
     for m, n, k in problems:
-        for mr, nr in candidate_tiles(t.family, m, n, vla=vla):
-            jobs.append(TuneJob(isa=t.name, mr=mr, nr=nr, m=m, n=n, k=k))
+        for nthreads in threads:
+            for mr, nr in candidate_tiles(t.family, m, n, vla=vla):
+                jobs.append(
+                    TuneJob(
+                        isa=t.name,
+                        mr=mr,
+                        nr=nr,
+                        m=m,
+                        n=n,
+                        k=k,
+                        threads=nthreads,
+                    )
+                )
     return jobs
 
 
@@ -143,9 +164,12 @@ def resolve_isas(isas: Iterable[str]) -> List[str]:
 
 
 def enumerate_space(
-    isas: Iterable[str], problems: Iterable[Problem]
+    isas: Iterable[str],
+    problems: Iterable[Problem],
+    threads: Sequence[int] = (1,),
 ) -> List[TuneJob]:
-    """The full search space: every machine's candidates for every problem.
+    """The full search space: every machine's candidates for every
+    problem at every thread count.
 
     ``isas`` may be target names or ``"all"``; order is preserved (after
     deduplication) so the job list — and therefore the executor's result
@@ -153,10 +177,35 @@ def enumerate_space(
     """
     names = resolve_isas(isas)
     problems = [tuple(p) for p in problems]
+    threads = parse_threads(threads)
     jobs: List[TuneJob] = []
     for name in names:
-        jobs.extend(jobs_for_machine(name, problems))
+        jobs.extend(jobs_for_machine(name, problems, threads=threads))
     return jobs
+
+
+def parse_threads(spec: Union[str, Iterable[int]]) -> Tuple[int, ...]:
+    """Normalize a thread-count axis: ``"1,2,4,8"`` or an int iterable.
+
+    Deduplicates preserving order and rejects non-positive counts, so
+    the job list (and the artifact's key set) is deterministic.
+    """
+    if isinstance(spec, str):
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+        try:
+            counts = [int(p) for p in parts]
+        except ValueError:
+            raise ValueError(
+                f"bad thread list {spec!r}: expected e.g. 1,2,4,8"
+            ) from None
+    else:
+        counts = [int(t) for t in spec]
+    if not counts:
+        raise ValueError("thread list must not be empty")
+    for t in counts:
+        if t < 1:
+            raise ValueError(f"thread counts must be >= 1, got {t}")
+    return tuple(dict.fromkeys(counts))
 
 
 #: the square sweep evaluated by ``python -m repro.eval --isa ...``

@@ -1,62 +1,289 @@
-"""Tests for the multi-core scaling model."""
+"""Tests for the multi-threaded GEMM execution model.
+
+Invariants of the thread partitioner and the threaded breakdown:
+
+* a one-thread run matches the serial :func:`gemm_time_model` exactly,
+  on every registered machine;
+* modelled GFLOPS is monotonically non-decreasing in the thread count,
+  up to (and past) the modelled DRAM ceiling;
+* partition slices cover the (m, n) plane exactly once — no overlap,
+  no gap — under fuzzed shapes and thread counts;
+* the shared B panel's packing is charged once per column group, never
+  divided by the row-parallel thread count (the pre-threading model
+  divided it by ``threads``);
+* the threaded entry points take an explicit machine — there is no
+  Carmel default to fall back to.
+"""
 
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.sim.memory import GemmShape, TileParams
-from repro.sim.parallel import parallel_gemm_time, scaling_curve
+from repro.isa.machine import CARMEL, MACHINES, RVV_EDGE_VLEN128
+from repro.sim.memory import GemmShape, TileParams, memory_cost
+from repro.sim.parallel import (
+    parallel_gemm_breakdown,
+    partition_extent,
+    partition_plane,
+    scaling_curve,
+    split_ways,
+)
 from repro.sim.pipeline import trace_from_kernel
-from repro.sim.timing import ChunkPlan
+from repro.sim.timing import ChunkPlan, gemm_time_model
+from repro.ukernel.edge import monolithic_cover
 
 TILES = TileParams(mc=896, kc=512, nc=1788, mr=8, nr=12)
 
 
 @pytest.fixture(scope="module")
-def plan(registry):
+def plan_builder(registry):
+    """Monolithic 8x12 plan builder for any (m, n) sub-plane."""
     trace = trace_from_kernel(registry.get(8, 12))
-    return [ChunkPlan(trace=trace, mr=8, nr=12, count=250 * 167)]
+
+    def build(m, n):
+        return [
+            ChunkPlan(
+                trace=trace, mr=8, nr=12, count=monolithic_cover(m, n, 8, 12)
+            )
+        ]
+
+    return build
 
 
-class TestScaling:
-    def test_one_thread_matches_single_core_model(self, plan):
-        from repro.sim.timing import gemm_time_model
+# ---------------------------------------------------------------------------
+# Partitioner
+# ---------------------------------------------------------------------------
 
+
+class TestPartition:
+    @given(
+        extent=st.integers(min_value=1, max_value=5000),
+        ways=st.integers(min_value=1, max_value=16),
+        granule=st.sampled_from([1, 4, 8, 12, 16]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_extent_cover_exact(self, extent, ways, granule):
+        spans = partition_extent(extent, ways, granule)
+        assert 1 <= len(spans) <= ways
+        # contiguous, no overlap, no gap
+        assert spans[0].start == 0
+        for a, b in zip(spans, spans[1:]):
+            assert b.start == a.stop
+        assert spans[-1].stop == extent
+        # every span is non-empty and granule-aligned except the ragged
+        # remainder, which rides in the final span
+        for span in spans:
+            assert span.extent > 0
+        for span in spans[:-1]:
+            assert span.extent % granule == 0
+
+    @given(
+        m=st.integers(min_value=1, max_value=700),
+        n=st.integers(min_value=1, max_value=700),
+        threads=st.integers(min_value=1, max_value=12),
+        machine=st.sampled_from(sorted(MACHINES)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_plane_cover_exact(self, m, n, threads, machine):
+        """Every point of the plane belongs to exactly one slice."""
+        part = partition_plane(m, n, threads, MACHINES[machine], 8, 12)
+        assert part.active_threads <= threads
+        area = sum(sl.m * sl.n for sl in part.slices)
+        assert area == m * n
+        # row/col spans within a group are identical grids: check the
+        # 1-D covers directly
+        row_spans = sorted(
+            {(sl.rows.start, sl.rows.stop) for sl in part.slices}
+        )
+        col_spans = sorted(
+            {(sl.cols.start, sl.cols.stop) for sl in part.slices}
+        )
+        for spans, extent in ((row_spans, m), (col_spans, n)):
+            assert spans[0][0] == 0
+            for a, b in zip(spans, spans[1:]):
+                assert b[0] == a[1]
+            assert spans[-1][1] == extent
+
+    def test_no_shared_l3_partitions_jc_only(self):
+        assert not RVV_EDGE_VLEN128.has_shared_l3
+        assert split_ways(4, 2000, 2000, RVV_EDGE_VLEN128, 8, 12) == (4, 1)
+        part = partition_plane(2000, 2000, 4, RVV_EDGE_VLEN128, 8, 12)
+        assert part.ic_ways == 1 and part.jc_ways == 4
+
+    def test_shared_l3_may_split_both_loops(self):
+        jc, ic = split_ways(4, 2000, 2000, CARMEL, 8, 12)
+        assert jc * ic <= 4 and jc >= 1 and ic >= 1
+
+    def test_more_threads_than_tiles(self):
+        part = partition_plane(10, 13, 8, CARMEL, 8, 12)
+        # 2 row tiles x 2 col tiles: at most 4 slices carry work
+        assert part.active_threads <= 4
+        assert sum(sl.m * sl.n for sl in part.slices) == 10 * 13
+
+
+# ---------------------------------------------------------------------------
+# Threaded breakdown (sim level)
+# ---------------------------------------------------------------------------
+
+
+class TestThreadedBreakdown:
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_one_thread_matches_serial_model(
+        self, machine_name, plan_builder
+    ):
+        machine = MACHINES[machine_name]
         shape = GemmShape(2000, 2000, 2000)
-        single = gemm_time_model(shape, plan, TILES)
-        par = parallel_gemm_time(shape, plan, TILES, threads=1)
-        assert par.total_cycles == pytest.approx(single.total_cycles)
+        serial = gemm_time_model(
+            shape, plan_builder(2000, 2000), TILES, machine=machine
+        )
+        par = parallel_gemm_breakdown(
+            shape, TILES, 1, machine=machine, plan_builder=plan_builder
+        )
+        assert par.total_cycles == serial.total_cycles
+        assert par.compute_cycles == serial.compute_cycles
+        assert par.pack_cycles == serial.pack_cycles
+        assert par.c_stall_cycles == serial.c_stall_cycles
+        assert par.dram_limit_cycles == serial.dram_limit_cycles
 
-    def test_two_threads_near_double(self, plan):
-        shape = GemmShape(2000, 2000, 2000)
-        one = parallel_gemm_time(shape, plan, TILES, threads=1)
-        two = parallel_gemm_time(shape, plan, TILES, threads=2)
-        speedup = one.total_cycles / two.total_cycles
-        assert 1.7 < speedup <= 2.0
+    def test_machine_is_explicit(self, plan_builder):
+        """No Carmel default: the threaded model names its machine."""
+        with pytest.raises(TypeError):
+            parallel_gemm_breakdown(
+                GemmShape(100, 100, 100), TILES, 2,
+                plan_builder=plan_builder,
+            )
 
-    def test_scaling_saturates_at_bandwidth(self, plan):
-        """With enough cores a low-intensity GEMM hits the DRAM ceiling.
-
-        k = 64 gives ~11 flops per DRAM byte: the stream caps the rate well
-        before 32 threads, while the square 2000^3 problem (68x higher
-        intensity) keeps scaling.
-        """
-        shape = GemmShape(2000, 2000, 64)
-        curve = scaling_curve(shape, plan, TILES, max_threads=32)
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_gflops_monotone_in_threads(self, machine_name, plan_builder):
+        machine = MACHINES[machine_name]
+        curve = scaling_curve(
+            GemmShape(1000, 1000, 1000), TILES,
+            machine=machine, plan_builder=plan_builder,
+            max_threads=3 * machine.cores,
+        )
         rates = [b.gflops for b in curve]
-        assert rates == sorted(rates)  # monotone
-        assert rates[-1] / rates[15] < 1.05  # the last doubling gains ~nothing
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_scaling_saturates_at_dram_ceiling(self, plan_builder):
+        """A low-intensity GEMM hits the socket's DRAM stream limit."""
+        curve = scaling_curve(
+            GemmShape(2000, 2000, 16), TILES,
+            machine=CARMEL, plan_builder=plan_builder, max_threads=32,
+        )
+        rates = [b.gflops for b in curve]
+        assert rates == sorted(rates)
+        # flat once DRAM-bound: the last cores add ~nothing
+        assert rates[-1] / rates[-6] < 1.01
         cap = curve[-1]
         assert cap.total_cycles == pytest.approx(cap.dram_limit_cycles)
 
-    def test_gflops_monotone_in_threads(self, plan):
-        shape = GemmShape(1000, 1000, 1000)
-        curve = scaling_curve(shape, plan, TILES, max_threads=8)
-        rates = [b.gflops for b in curve]
-        assert all(b2 >= b1 for b1, b2 in zip(rates, rates[1:]))
+    def test_two_threads_near_double(self, plan_builder):
+        shape = GemmShape(2000, 2000, 2000)
+        one = parallel_gemm_breakdown(
+            shape, TILES, 1, machine=CARMEL, plan_builder=plan_builder
+        )
+        two = parallel_gemm_breakdown(
+            shape, TILES, 2, machine=CARMEL, plan_builder=plan_builder
+        )
+        speedup = one.total_cycles / two.total_cycles
+        assert 1.7 < speedup <= 2.0
 
-    def test_invalid_threads_rejected(self, plan):
+    def test_shared_b_pack_charged_once(self, plan_builder):
+        """Row-parallel threads each wait on the full B-panel pack.
+
+        The pre-threading model divided packing by the thread count
+        wholesale; with an ic-only partition the B panel is shared by
+        all four threads, so the critical thread's pack charge must
+        still contain the *whole* B pack.
+        """
+        shape = GemmShape(2000, 2000, 2000)
+        mem = memory_cost(shape, TILES, machine=CARMEL)
+        part = partition_plane(2000, 2000, 4, CARMEL, 8, 12,
+                               jc_ways=1, ic_ways=4)
+        b = parallel_gemm_breakdown(
+            shape, TILES, 4,
+            machine=CARMEL, plan_builder=plan_builder, partition=part,
+        )
+        assert b.ic_ways == 4
+        # full B pack + this thread's A share: strictly more than the
+        # buggy pack/threads attribution could ever produce
+        assert b.pack_cycles >= mem.pack_b_cycles
+        total_pack = mem.pack_a_cycles + mem.pack_b_cycles
+        assert b.pack_cycles > total_pack / 4
+
+    def test_no_shared_l3_replicates_b_traffic_when_forced(
+        self, plan_builder
+    ):
+        """Pinning a row split on the no-L3 core replicates B streams."""
+        shape = GemmShape(2000, 2000, 2000)
+        machine = RVV_EDGE_VLEN128
+        jc_only = parallel_gemm_breakdown(
+            shape, TILES, 4, machine=machine, plan_builder=plan_builder
+        )
+        forced = parallel_gemm_breakdown(
+            shape, TILES, 4, machine=machine, plan_builder=plan_builder,
+            partition=partition_plane(
+                2000, 2000, 4, machine, 8, 12, jc_ways=1, ic_ways=4
+            ),
+        )
+        assert forced.dram_limit_cycles > jc_only.dram_limit_cycles
+
+    def test_invalid_threads_rejected(self, plan_builder):
         with pytest.raises(ValueError):
-            parallel_gemm_time(
-                GemmShape(100, 100, 100), plan, TILES, threads=0
+            parallel_gemm_breakdown(
+                GemmShape(100, 100, 100), TILES, 0,
+                machine=CARMEL, plan_builder=plan_builder,
             )
+
+
+# ---------------------------------------------------------------------------
+# Harness integration (per-slice edge/tail selection)
+# ---------------------------------------------------------------------------
+
+
+class TestHarnessThreading:
+    @pytest.mark.parametrize(
+        "machine_name", ["carmel", "avx512", "rvv128", "rvv256"]
+    )
+    def test_threads1_matches_serial_harness_path(self, machine_name):
+        from repro.eval.harness import (
+            exo_gemm_breakdown,
+            exo_parallel_breakdown,
+            machine_context,
+        )
+
+        ctx = machine_context(MACHINES[machine_name])
+        serial = exo_gemm_breakdown(96, 96, 64, ctx=ctx)
+        par = exo_parallel_breakdown(96, 96, 64, 1, ctx=ctx)
+        assert par.total_cycles == serial.total_cycles
+
+    def test_vla_tails_compose_with_uneven_partition(self):
+        """A ragged RVV shape split across threads still covers exactly:
+        the tail slice re-selects reduced-``vsetvl`` part kernels."""
+        from repro.eval.harness import (
+            exo_parallel_breakdown,
+            machine_context,
+        )
+
+        ctx = machine_context(MACHINES["rvv128"])
+        serial = exo_parallel_breakdown(50, 37, 29, 1, ctx=ctx)
+        b = exo_parallel_breakdown(50, 37, 29, 3, ctx=ctx)
+        assert b.jc_ways >= 1 and b.ic_ways == 1  # no shared L3
+        assert 0 < b.total_cycles <= serial.total_cycles
+
+    def test_thread_scaling_rows(self):
+        from repro.eval.harness import (
+            machine_context,
+            thread_scaling_data,
+        )
+
+        ctx = machine_context(MACHINES["carmel"])
+        rows = thread_scaling_data(
+            ctx, shape=(480, 480, 480), max_threads=4
+        )
+        assert [r["threads"] for r in rows] == [1, 2, 4]
+        assert rows[0]["speedup"] == pytest.approx(1.0)
+        speedups = [r["speedup"] for r in rows]
+        assert speedups == sorted(speedups)
