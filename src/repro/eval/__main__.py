@@ -15,6 +15,11 @@ portability table.
 figure for the target machine (1..N threads, jc/ic partition choice and
 modelled GFLOPS per count) plus threaded variants of the ResNet50 and
 VGG16 end-to-end sweeps (see ``docs/parallel.md``).
+
+``--use-tuned`` activates the persistent tune cache and dispatches each
+DNN layer's kernel through the tuned winners (the same per-layer path
+``python -m repro.serve`` prices batched requests with); figures 15/17
+gain an ``exo_kernel`` column recording the choice.
 """
 
 from __future__ import annotations
@@ -53,7 +58,9 @@ def _write(outdir: Path, name: str, text: str) -> None:
     print(f"  wrote {path}")
 
 
-def run_threaded_eval(ctx, isa: str, threads: int, outdir: Path) -> list:
+def run_threaded_eval(
+    ctx, isa: str, threads: int, outdir: Path, use_tuned: bool = False
+) -> list:
     """The multi-core figures: thread scaling + threaded DNN sweeps.
 
     Returns the summary lines to fold into the run's SUMMARY file.
@@ -83,7 +90,9 @@ def run_threaded_eval(ctx, isa: str, threads: int, outdir: Path) -> list:
         ("vgg16", vgg16_instances()),
     )
     for name, instances in workloads:
-        wrows = threaded_instance_time_data(instances, ctx, counts)
+        wrows = threaded_instance_time_data(
+            instances, ctx, counts, use_tuned=use_tuned
+        )
         final = wrows[-1]
         _write(
             outdir, f"threads_{isa}_{name}_time.txt",
@@ -101,7 +110,9 @@ def run_threaded_eval(ctx, isa: str, threads: int, outdir: Path) -> list:
     return lines
 
 
-def run_isa_eval(isa: str, outdir: Path, threads: int = 1) -> int:
+def run_isa_eval(
+    isa: str, outdir: Path, threads: int = 1, use_tuned: bool = False
+) -> int:
     """The retargeted evaluation for one non-default backend."""
     from repro import tune
     from repro.isa.targets import target
@@ -148,7 +159,11 @@ def run_isa_eval(isa: str, outdir: Path, threads: int = 1) -> int:
     )
 
     if threads > 1:
-        summary.extend(run_threaded_eval(ctx, isa, threads, outdir))
+        summary.extend(
+            run_threaded_eval(
+                ctx, isa, threads, outdir, use_tuned=use_tuned
+            )
+        )
 
     print("Cross-ISA portability table...")
     port = portability_solo_data(
@@ -167,6 +182,27 @@ def run_isa_eval(isa: str, outdir: Path, threads: int = 1) -> int:
     _write(outdir, f"SUMMARY_{isa}.txt", "\n".join(summary))
     print("\n".join(summary))
     return 0
+
+
+USAGE = """\
+usage: python -m repro.eval [outdir] [--isa NAME] [--threads N]
+                            [--use-tuned] [--tune-cache PATH]
+
+Regenerate the paper's evaluation figures into outdir (default
+results/).  --isa retargets to a registered backend (rvv128, rvv256,
+avx512); --threads N adds the multi-core figures; --use-tuned activates
+the persistent tune cache so the ResNet-50/VGG16 per-layer sweeps
+dispatch each layer's kernel through the tuned winners (--tune-cache
+overrides the cache root, default out/tunecache)."""
+
+
+def _pop_flag(argv: list, name: str) -> bool:
+    """Extract a boolean ``--name`` flag from ``argv``."""
+    flag = f"--{name}"
+    if flag in argv:
+        argv.remove(flag)
+        return True
+    return False
 
 
 def _pop_option(argv: list, name: str):
@@ -191,11 +227,19 @@ def _pop_option(argv: list, name: str):
 
 def main(argv=None) -> int:
     argv = list(argv if argv is not None else sys.argv[1:])
+    if "--help" in argv or "-h" in argv:
+        print(USAGE)
+        return 0
+    use_tuned = _pop_flag(argv, "use-tuned")
     try:
         isa = _pop_option(argv, "isa")
         threads_spec = _pop_option(argv, "threads")
+        tune_cache = _pop_option(argv, "tune-cache")
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
+        return 2
+    if tune_cache is not None and not use_tuned:
+        print("--tune-cache requires --use-tuned", file=sys.stderr)
         return 2
     if isa is not None and not isa.strip():
         print("--isa requires an argument", file=sys.stderr)
@@ -226,14 +270,24 @@ def main(argv=None) -> int:
     if stray:
         print(
             f"unknown option(s): {', '.join(stray)} "
-            "(supported: --isa NAME, --threads N)",
+            "(supported: --isa NAME, --threads N, --use-tuned, "
+            "--tune-cache PATH)",
             file=sys.stderr,
         )
         return 2
+    if use_tuned:
+        from repro import tune
+
+        cache = tune.activate(
+            tune.TuneCache(tune_cache or tune.default_cache_root())
+        )
+        print(f"per-layer dispatch: tuned (cache {cache.root})")
     outdir = Path(argv[0]) if argv else Path("results")
     outdir.mkdir(parents=True, exist_ok=True)
     if isa != "neon":
-        return run_isa_eval(isa, outdir, threads=threads)
+        return run_isa_eval(
+            isa, outdir, threads=threads, use_tuned=use_tuned
+        )
     ctx = default_context()
     t0 = time.time()
     summary = []
@@ -278,10 +332,14 @@ def main(argv=None) -> int:
         + "\n\n" + render_table(table2, title="Table II — VGG16 GEMMs"),
     )
 
+    layer_cols = ["layer", "m", "n", "k", *CONFIGS]
+    if use_tuned:
+        layer_cols.append("exo_kernel")
+
     print("Figure 15 (ResNet50 per-layer GFLOPS)...")
-    rows = fig15_resnet_layer_data(ctx=ctx)
+    rows = fig15_resnet_layer_data(ctx=ctx, use_tuned=use_tuned)
     text = render_table(
-        rows, columns=["layer", "m", "n", "k", *CONFIGS],
+        rows, columns=layer_cols,
         title="Figure 15 — ResNet50 v1.5 per-layer GFLOPS",
     )
     text += "\n\n" + bar_chart(rows, x="layer", series=CONFIGS, unit=" GF")
@@ -293,7 +351,7 @@ def main(argv=None) -> int:
     )
 
     print("Figure 16 (ResNet50 aggregated time)...")
-    rows = fig16_resnet_time_data(ctx=ctx)
+    rows = fig16_resnet_time_data(ctx=ctx, use_tuned=use_tuned)
     final = rows[-1]
     text = render_table(
         rows, columns=["layer_number", *CONFIGS],
@@ -307,9 +365,9 @@ def main(argv=None) -> int:
     )
 
     print("Figure 17 (VGG16 per-layer GFLOPS)...")
-    rows = fig17_vgg_layer_data(ctx=ctx)
+    rows = fig17_vgg_layer_data(ctx=ctx, use_tuned=use_tuned)
     text = render_table(
-        rows, columns=["layer", "m", "n", "k", *CONFIGS],
+        rows, columns=layer_cols,
         title="Figure 17 — VGG16 per-layer GFLOPS",
     )
     text += "\n\n" + bar_chart(rows, x="layer", series=CONFIGS, unit=" GF")
@@ -321,7 +379,7 @@ def main(argv=None) -> int:
     )
 
     print("Figure 18 (VGG16 aggregated time)...")
-    rows = fig18_vgg_time_data(ctx=ctx)
+    rows = fig18_vgg_time_data(ctx=ctx, use_tuned=use_tuned)
     final = rows[-1]
     text = render_table(
         rows, columns=["layer_number", *CONFIGS],
@@ -334,7 +392,15 @@ def main(argv=None) -> int:
     )
 
     if threads > 1:
-        summary.extend(run_threaded_eval(ctx, "neon", threads, outdir))
+        summary.extend(
+            run_threaded_eval(
+                ctx, "neon", threads, outdir, use_tuned=use_tuned
+            )
+        )
+    if use_tuned:
+        summary.append(
+            "per-layer dispatch: tuned winners via the active tune cache"
+        )
 
     elapsed = time.time() - t0
     summary.append(f"\nregenerated in {elapsed:.1f}s (modelled Carmel core)")

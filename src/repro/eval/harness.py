@@ -357,6 +357,23 @@ def best_exo_breakdown(
     return best
 
 
+def tuned_layer_breakdown(ctx: EvalContext, m: int, n: int, k: int):
+    """Per-layer kernel dispatch through the tune subsystem's ranking.
+
+    The single dispatch path shared by ``eval --use-tuned`` and the
+    serving executor (:mod:`repro.serve.executor`): the winner comes
+    from ``select_kernel_for``, which ranks the same candidate
+    enumeration as ``repro.tune`` and — when a tune cache is active —
+    reads the cached winners instead of re-running the timing model.
+    Returns ``(main_tile, breakdown)``; the breakdown is a cached
+    :class:`repro.tune.TunedBreakdown` on a hit, the modelled
+    ``GemmTimeBreakdown`` otherwise, with identical timing surfaces.
+    """
+    from repro.ukernel.registry import select_kernel_for
+
+    return select_kernel_for(m, n, k, machine=ctx.machine)
+
+
 def all_config_breakdowns(
     m: int, n: int, k: int, ctx: Optional[EvalContext] = None
 ) -> Dict[str, GemmTimeBreakdown]:
@@ -398,7 +415,9 @@ def fig14_square_data(
 # ---------------------------------------------------------------------------
 
 
-def _layer_rows(layers, ctx: EvalContext) -> List[dict]:
+def _layer_rows(
+    layers, ctx: EvalContext, use_tuned: bool = False
+) -> List[dict]:
     rows = []
     for layer in layers:
         configs = all_config_breakdowns(layer.m, layer.n, layer.k, ctx=ctx)
@@ -409,11 +428,19 @@ def _layer_rows(layers, ctx: EvalContext) -> List[dict]:
             "k": layer.k,
         }
         row.update({name: b.gflops for name, b in configs.items()})
+        if use_tuned:
+            tile, b = tuned_layer_breakdown(
+                ctx, layer.m, layer.n, layer.k
+            )
+            row["ALG+EXO"] = b.gflops
+            row["exo_kernel"] = f"{tile[0]}x{tile[1]}"
         rows.append(row)
     return rows
 
 
-def _instance_time_rows(instances, ctx: EvalContext) -> List[dict]:
+def _instance_time_rows(
+    instances, ctx: EvalContext, use_tuned: bool = False
+) -> List[dict]:
     """Cumulative per-configuration time over layer instances (Figs 16/18)."""
     totals = {"ALG+NEON": 0.0, "ALG+BLIS": 0.0, "BLIS": 0.0, "ALG+EXO": 0.0}
     rows = []
@@ -421,33 +448,53 @@ def _instance_time_rows(instances, ctx: EvalContext) -> List[dict]:
     for number, layer in instances:
         if layer.layer_id not in cache:
             configs = all_config_breakdowns(layer.m, layer.n, layer.k, ctx=ctx)
-            cache[layer.layer_id] = {
-                name: b.seconds for name, b in configs.items()
-            }
+            seconds = {name: b.seconds for name, b in configs.items()}
+            if use_tuned:
+                _, b = tuned_layer_breakdown(
+                    ctx, layer.m, layer.n, layer.k
+                )
+                seconds["ALG+EXO"] = b.seconds
+            cache[layer.layer_id] = seconds
         for name, seconds in cache[layer.layer_id].items():
             totals[name] += seconds
         rows.append({"layer_number": number, **dict(totals)})
     return rows
 
 
-def fig15_resnet_layer_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+def fig15_resnet_layer_data(
+    ctx: Optional[EvalContext] = None, use_tuned: bool = False
+) -> List[dict]:
     """Per-layer GFLOPS for ResNet50 v1.5 (Figure 15, Table I shapes)."""
-    return _layer_rows(RESNET50_LAYERS, ctx or default_context())
+    return _layer_rows(
+        RESNET50_LAYERS, ctx or default_context(), use_tuned=use_tuned
+    )
 
 
-def fig16_resnet_time_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+def fig16_resnet_time_data(
+    ctx: Optional[EvalContext] = None, use_tuned: bool = False
+) -> List[dict]:
     """Aggregated inference time across the 53 ResNet50 layers (Figure 16)."""
-    return _instance_time_rows(resnet50_instances(), ctx or default_context())
+    return _instance_time_rows(
+        resnet50_instances(), ctx or default_context(), use_tuned=use_tuned
+    )
 
 
-def fig17_vgg_layer_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+def fig17_vgg_layer_data(
+    ctx: Optional[EvalContext] = None, use_tuned: bool = False
+) -> List[dict]:
     """Per-layer GFLOPS for VGG16 (Figure 17, Table II shapes)."""
-    return _layer_rows(VGG16_LAYERS, ctx or default_context())
+    return _layer_rows(
+        VGG16_LAYERS, ctx or default_context(), use_tuned=use_tuned
+    )
 
 
-def fig18_vgg_time_data(ctx: Optional[EvalContext] = None) -> List[dict]:
+def fig18_vgg_time_data(
+    ctx: Optional[EvalContext] = None, use_tuned: bool = False
+) -> List[dict]:
     """Aggregated inference time across the 13 VGG16 layers (Figure 18)."""
-    return _instance_time_rows(vgg16_instances(), ctx or default_context())
+    return _instance_time_rows(
+        vgg16_instances(), ctx or default_context(), use_tuned=use_tuned
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -541,12 +588,16 @@ def threaded_instance_time_data(
     instances,
     ctx: EvalContext,
     threads: Tuple[int, ...],
+    use_tuned: bool = False,
 ) -> List[dict]:
     """Cumulative end-to-end workload time per thread count.
 
     The threaded variant of the Figure 16/18 sweeps: the generated
     family (ALG+EXO) runs every layer instance at each thread count;
-    rows accumulate seconds per column ``t<threads>``.
+    rows accumulate seconds per column ``t<threads>``.  With
+    ``use_tuned`` the main tile of every layer comes from
+    :func:`tuned_layer_breakdown` — the dispatch path shared with the
+    serving executor — instead of the ISA default.
     """
     totals = {t: 0.0 for t in threads}
     cache: Dict[Tuple[int, int], float] = {}
@@ -555,8 +606,13 @@ def threaded_instance_time_data(
         for t in threads:
             key = (layer.layer_id, t)
             if key not in cache:
+                main = None
+                if use_tuned:
+                    main, _ = tuned_layer_breakdown(
+                        ctx, layer.m, layer.n, layer.k
+                    )
                 cache[key] = exo_parallel_breakdown(
-                    layer.m, layer.n, layer.k, t, ctx=ctx
+                    layer.m, layer.n, layer.k, t, ctx=ctx, main=main
                 ).seconds
             totals[t] += cache[key]
         rows.append(

@@ -1,0 +1,59 @@
+"""Inference serving on the threaded GEMM model: ``python -m repro.serve``.
+
+The request-level layer above the per-layer sweeps: a seeded arrival
+trace (:mod:`repro.serve.traffic`) flows through a dynamic
+max-batch/max-wait batcher (:mod:`repro.serve.batcher`); every batched
+im2row GEMM is priced by the exact threaded time model with tuned
+per-layer kernel dispatch (:mod:`repro.serve.executor`); and the
+placement planner (:mod:`repro.serve.placement`) splits the socket into
+replica x thread configurations, searching for the best throughput
+under a p99-latency SLO.  :mod:`repro.serve.report` holds the
+percentile math and the JSON/figure report schema (docs/serving.md).
+"""
+
+from .batcher import (
+    BatchPolicy,
+    ExecutedBatch,
+    ServedRequest,
+    ServingResult,
+    simulate_serving,
+)
+from .executor import ModelExecutor
+from .placement import (
+    ConfigOutcome,
+    Placement,
+    enumerate_placements,
+    evaluate_configuration,
+    search_configurations,
+)
+from .report import (
+    build_report,
+    latency_throughput_figure,
+    percentile,
+    save_report,
+    serving_metrics,
+)
+from .traffic import Request, load_trace, save_trace, synthetic_trace
+
+__all__ = [
+    "BatchPolicy",
+    "ConfigOutcome",
+    "ExecutedBatch",
+    "ModelExecutor",
+    "Placement",
+    "Request",
+    "ServedRequest",
+    "ServingResult",
+    "build_report",
+    "enumerate_placements",
+    "evaluate_configuration",
+    "latency_throughput_figure",
+    "load_trace",
+    "percentile",
+    "save_report",
+    "save_trace",
+    "search_configurations",
+    "serving_metrics",
+    "simulate_serving",
+    "synthetic_trace",
+]

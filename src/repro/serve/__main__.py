@@ -1,0 +1,267 @@
+"""Serving CLI: ``python -m repro.serve --machine carmel --trace synthetic``.
+
+Generates (or replays) an arrival trace, searches replica x thread x
+batch configurations of the target machine for the best throughput
+under a p99 latency SLO, and writes a deterministic JSON report plus a
+latency-throughput figure into the output directory (default
+``results/``).  ``--replicas/--threads/--max-batch`` pin a single
+configuration instead of searching; ``--use-tuned`` activates the
+persistent tune cache so per-layer kernel dispatch follows the tuned
+winners (the same path as ``python -m repro.eval --use-tuned``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.isa.machine import MACHINES, machine_by_name
+from repro.workloads import SERVABLE_MODELS
+
+from .placement import Placement, search_configurations
+from .report import build_report, latency_throughput_figure, save_report
+from .traffic import load_trace, synthetic_trace
+
+
+def parse_duration_ms(spec: str) -> float:
+    """Parse ``50ms`` / ``0.05s`` / plain-number-of-ms SLO spellings."""
+    text = spec.strip().lower()
+    scale = 1.0
+    if text.endswith("ms"):
+        text = text[:-2]
+    elif text.endswith("s"):
+        text = text[:-1]
+        scale = 1000.0
+    try:
+        value = float(text) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad duration {spec!r}: expected e.g. 50ms or 0.05s"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"duration must be positive, got {spec!r}"
+        )
+    return value
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Request-level inference serving simulation on the "
+        "threaded GEMM model.",
+    )
+    parser.add_argument(
+        "outdir",
+        nargs="?",
+        default="results",
+        help="report directory (default results/)",
+    )
+    parser.add_argument(
+        "--machine",
+        default="carmel",
+        help=f"target machine (default carmel; known: {sorted(MACHINES)})",
+    )
+    parser.add_argument(
+        "--model",
+        default="resnet50",
+        choices=SERVABLE_MODELS,
+        help="workload to serve (default resnet50)",
+    )
+    parser.add_argument(
+        "--trace",
+        default="synthetic",
+        help="'synthetic' (default) or a request_id,arrival_ms CSV path",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=15.0,
+        help="synthetic arrival rate in requests/s (default 15)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=1000.0,
+        help="synthetic trace duration in ms (default 1000)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="synthetic trace seed (default 0)",
+    )
+    parser.add_argument(
+        "--slo-p99",
+        type=parse_duration_ms,
+        default=50.0,
+        metavar="DUR",
+        help="p99 latency SLO, e.g. 50ms or 0.05s (default 50ms)",
+    )
+    parser.add_argument(
+        "--max-wait",
+        type=parse_duration_ms,
+        default=2.0,
+        metavar="DUR",
+        help="batcher max wait time (default 2ms)",
+    )
+    parser.add_argument(
+        "--batch-candidates",
+        default="1,2,4,8",
+        help="max-batch sizes the search tries (default 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help="pin the replica count (requires --threads)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="pin threads per replica (requires --replicas)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        help="pin the batch-size cap (skips the batch search)",
+    )
+    parser.add_argument(
+        "--use-tuned",
+        action="store_true",
+        help="activate the tune cache for per-layer kernel dispatch",
+    )
+    parser.add_argument(
+        "--tune-cache",
+        default=None,
+        help="tune cache root for --use-tuned (default out/tunecache)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    try:
+        machine = machine_by_name(args.machine)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if (args.replicas is None) != (args.threads is None):
+        print(
+            "pass both --replicas and --threads, or neither",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.trace == "synthetic":
+        trace = synthetic_trace(args.rate, args.duration, seed=args.seed)
+        trace_info = {
+            "kind": "synthetic",
+            "rate_rps": args.rate,
+            "duration_ms": args.duration,
+            "seed": args.seed,
+            "requests": len(trace),
+        }
+    else:
+        try:
+            trace = load_trace(args.trace)
+        except (OSError, ValueError, IndexError) as exc:
+            print(
+                f"cannot replay trace {args.trace!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        trace_info = {
+            "kind": "csv",
+            "path": args.trace,
+            "requests": len(trace),
+        }
+    if not trace:
+        print(
+            "empty trace: raise --rate/--duration or check the CSV",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.use_tuned:
+        from repro import tune
+
+        cache = tune.activate(
+            tune.TuneCache(args.tune_cache or tune.default_cache_root())
+        )
+        print(f"per-layer dispatch: tuned (cache {cache.root})")
+
+    try:
+        batch_candidates = [
+            int(b) for b in args.batch_candidates.split(",") if b.strip()
+        ]
+        if args.max_batch is not None:
+            batch_candidates = [args.max_batch]
+        if args.replicas is not None:
+            placements = [
+                Placement(
+                    replicas=args.replicas,
+                    threads_per_replica=args.threads,
+                )
+            ]
+        else:
+            placements = None
+        best, outcomes = search_configurations(
+            trace,
+            machine,
+            args.model,
+            slo_p99_ms=args.slo_p99,
+            batch_candidates=batch_candidates,
+            max_wait_ms=args.max_wait,
+            use_tuned=args.use_tuned,
+            placements=placements,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    report = build_report(
+        best,
+        outcomes,
+        machine_name=args.machine.lower(),
+        isa=machine.isa,
+        model=args.model,
+        trace_info=trace_info,
+        slo_p99_ms=args.slo_p99,
+        use_tuned=args.use_tuned,
+    )
+    outdir = Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    stem = f"serve_{args.machine.lower()}_{args.model}"
+    json_path = save_report(report, outdir / f"{stem}.json")
+    figure = latency_throughput_figure(report)
+    figure_path = outdir / f"{stem}_frontier.txt"
+    figure_path.write_text(figure + "\n")
+
+    cfg = report["config"]
+    met = report["metrics"]
+    print(figure)
+    print()
+    print(
+        f"best config: {cfg['replicas']} replicas x "
+        f"{cfg['threads_per_replica']} threads, max batch "
+        f"{cfg['max_batch']} (wait {cfg['max_wait_ms']:g} ms) — "
+        f"{met['throughput_rps']:.1f} rps, p99 {met['p99_ms']:.2f} ms "
+        f"(SLO {'met' if cfg['slo_met'] else 'MISSED'})"
+    )
+    print(f"wrote {json_path}")
+    print(f"wrote {figure_path}")
+    if not cfg["slo_met"]:
+        print(
+            "warning: no configuration met the SLO; reporting the "
+            "lowest-p99 candidate",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

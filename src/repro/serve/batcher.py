@@ -1,0 +1,172 @@
+"""The dynamic batcher and the request-level serving simulation.
+
+Requests queue centrally in arrival order; each of the R replicas is a
+server that, whenever it goes idle, coalesces the head of the queue into
+one batched inference.  The batch-forming policy is the classic
+max-batch-size / max-wait-time rule:
+
+* a batch *closes* as soon as ``max_batch`` requests have arrived, or
+  when the oldest queued request has waited ``max_wait_ms`` — whichever
+  comes first;
+* a replica that frees up *after* the close time dispatches immediately
+  with whatever has arrived by then (up to ``max_batch``) — a backlogged
+  server never waits on a timer.
+
+The simulation is a deterministic discrete-event loop: ties between
+replicas break by index, requests are served strictly in arrival order,
+and the batched service time comes from a caller-supplied
+``service_time_ms(batch_size)`` (the per-layer executor), so the whole
+latency/throughput report is a pure function of (trace, config).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from .traffic import Request
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The dynamic-batching rule: size cap and waiting-time cap."""
+
+    max_batch: int = 1
+    max_wait_ms: float = 0.0
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One request's journey through the server."""
+
+    request: Request
+    replica: int
+    batch_size: int
+    dispatch_ms: float
+    completion_ms: float
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completion_ms - self.request.arrival_ms
+
+
+@dataclass(frozen=True)
+class ExecutedBatch:
+    """One dispatched batch: where, when, how big, how long."""
+
+    replica: int
+    size: int
+    dispatch_ms: float
+    service_ms: float
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Everything the simulation produced, pre-aggregation."""
+
+    served: Tuple[ServedRequest, ...]
+    batches: Tuple[ExecutedBatch, ...]
+
+    @property
+    def latencies_ms(self) -> List[float]:
+        return [s.latency_ms for s in self.served]
+
+    @property
+    def makespan_ms(self) -> float:
+        """First arrival to last completion."""
+        if not self.served:
+            return 0.0
+        first = min(s.request.arrival_ms for s in self.served)
+        last = max(s.completion_ms for s in self.served)
+        return last - first
+
+    @property
+    def throughput_rps(self) -> float:
+        span = self.makespan_ms
+        if span <= 0:
+            return 0.0
+        return len(self.served) / span * 1000.0
+
+    @property
+    def mean_batch(self) -> float:
+        if not self.batches:
+            return 0.0
+        return len(self.served) / len(self.batches)
+
+
+def simulate_serving(
+    trace: Sequence[Request],
+    replicas: int,
+    policy: BatchPolicy,
+    service_time_ms: Callable[[int], float],
+) -> ServingResult:
+    """Run a trace through R replicas under one batching policy.
+
+    ``service_time_ms(b)`` prices one batched inference of size ``b``
+    (milliseconds); it is called once per distinct batch size when the
+    caller memoizes (the executor does), so the event loop itself is
+    O(requests).
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    requests = sorted(trace, key=lambda r: (r.arrival_ms, r.request_id))
+    free = [0.0] * replicas
+    served: List[ServedRequest] = []
+    batches: List[ExecutedBatch] = []
+    i = 0
+    while i < len(requests):
+        replica = min(range(replicas), key=lambda r: (free[r], r))
+        head = requests[i]
+        ready = max(free[replica], head.arrival_ms)
+        # the batch closes at the max_batch-th arrival or the head's
+        # wait-time expiry, whichever first; a replica that frees later
+        # than that dispatches immediately with what has arrived
+        full_at = i + policy.max_batch - 1
+        close = head.arrival_ms + policy.max_wait_ms
+        if full_at < len(requests):
+            # the batch can still fill; otherwise only the wait timer
+            # closes it — the batcher never peeks at the trace's end
+            close = min(requests[full_at].arrival_ms, close)
+        dispatch = max(ready, close)
+        size = 0
+        while (
+            i + size < len(requests)
+            and size < policy.max_batch
+            and requests[i + size].arrival_ms <= dispatch
+        ):
+            size += 1
+        service = service_time_ms(size)
+        if service <= 0:
+            raise ValueError(
+                f"service_time_ms({size}) must be positive, got {service}"
+            )
+        completion = dispatch + service
+        for req in requests[i : i + size]:
+            served.append(
+                ServedRequest(
+                    request=req,
+                    replica=replica,
+                    batch_size=size,
+                    dispatch_ms=dispatch,
+                    completion_ms=completion,
+                )
+            )
+        batches.append(
+            ExecutedBatch(
+                replica=replica,
+                size=size,
+                dispatch_ms=dispatch,
+                service_ms=service,
+            )
+        )
+        free[replica] = completion
+        i += size
+    return ServingResult(served=tuple(served), batches=tuple(batches))

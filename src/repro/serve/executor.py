@@ -1,0 +1,128 @@
+"""Per-layer pricing of batched inference on one replica.
+
+A :class:`ModelExecutor` owns one replica-scoped view of the machine
+(:func:`repro.sim.parallel.replica_topology`) and prices a batched
+forward pass by summing the exact threaded GEMM model
+(:func:`repro.eval.harness.exo_parallel_breakdown`) over every layer
+instance of the workload, with the batch folded into the im2row m
+dimension (:meth:`repro.workloads.LayerGemm.batched_dims`).
+
+Kernel dispatch per layer is the path shared with ``eval --use-tuned``:
+by default every layer runs the ISA's main tile; with ``use_tuned`` the
+winner comes from :func:`repro.eval.harness.tuned_layer_breakdown`,
+which reads the active tune cache — closing the ROADMAP loop from tune
+winners back into per-layer kernel choice.  Selection always keys on
+the *base* machine, so cached winners match what ``repro.tune`` wrote;
+only the timing runs on the replica view.
+
+With one replica and batch 1, the summed model time equals the existing
+threaded ResNet/VGG sweep (`threaded_instance_time_data`) bit-for-bit —
+same breakdowns, same accumulation order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.eval.harness import (
+    EvalContext,
+    exo_parallel_breakdown,
+    machine_context,
+    tuned_layer_breakdown,
+)
+from repro.isa.machine import MachineModel
+from repro.sim.parallel import replica_topology
+from repro.workloads import LayerGemm, model_instances
+
+Instance = Tuple[int, LayerGemm]
+
+
+class ModelExecutor:
+    """Prices batched forward passes of one model on one replica."""
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        model: Union[str, Sequence[Instance]] = "resnet50",
+        threads: int = 1,
+        replicas: int = 1,
+        use_tuned: bool = False,
+    ):
+        self.machine = machine
+        self.threads = threads
+        self.replicas = replicas
+        self.use_tuned = use_tuned
+        if isinstance(model, str):
+            self.model_name = model.lower()
+            self.instances: List[Instance] = model_instances(model)
+        else:
+            self.model_name = "custom"
+            self.instances = list(model)
+        self.base_ctx = machine_context(machine)
+        replica_machine = replica_topology(machine, replicas, threads)
+        self.ctx = EvalContext(
+            machine=replica_machine, registry=self.base_ctx.registry
+        )
+        # kernel traces are machine-independent (pipeline-of-the-kernel
+        # objects): share the base context's memo instead of re-tracing
+        # the family once per (replicas, threads) configuration
+        self.ctx._exo_traces = self.base_ctx._exo_traces
+        #: (layer_id, batch) -> (seconds, main tile)
+        self._layer_memo: Dict[Tuple[int, int], tuple] = {}
+
+    def layer_time(
+        self, layer: LayerGemm, batch: int
+    ) -> Tuple[float, Tuple[int, int]]:
+        """(seconds, main tile) of one batched layer GEMM."""
+        key = (layer.layer_id, batch)
+        if key not in self._layer_memo:
+            m, n, k = layer.batched_dims(batch)
+            main: Optional[Tuple[int, int]] = None
+            if self.use_tuned:
+                # dispatch on the base machine: its fingerprint is what
+                # the tune cache keyed the winners under
+                main, _ = tuned_layer_breakdown(self.base_ctx, m, n, k)
+            b = exo_parallel_breakdown(
+                m, n, k, self.threads, ctx=self.ctx, main=main
+            )
+            self._layer_memo[key] = (
+                b.seconds,
+                main if main is not None else self.ctx.main_tile,
+            )
+        return self._layer_memo[key]
+
+    def batch_time_ms(self, batch: int) -> float:
+        """Modelled milliseconds of one batched forward pass.
+
+        Sums per-instance layer times in instance order — the exact
+        accumulation of the threaded eval sweep, so batch=1 on one
+        replica reproduces its totals to the last bit.
+        """
+        total_seconds = 0.0
+        for _, layer in self.instances:
+            seconds, _ = self.layer_time(layer, batch)
+            total_seconds += seconds
+        return total_seconds * 1e3
+
+    def layer_records(self) -> List[dict]:
+        """Per-layer report rows for every (layer, batch) priced so far."""
+        by_id = {layer.layer_id: layer for _, layer in self.instances}
+        rows = []
+        for (layer_id, batch), (seconds, tile) in sorted(
+            self._layer_memo.items()
+        ):
+            layer = by_id[layer_id]
+            m, n, k = layer.batched_dims(batch)
+            rows.append(
+                {
+                    "layer": layer_id,
+                    "batch": batch,
+                    "m": m,
+                    "n": n,
+                    "k": k,
+                    "kernel": f"{tile[0]}x{tile[1]}",
+                    "instances": layer.instances,
+                    "time_ms": seconds * 1e3 * layer.instances,
+                }
+            )
+        return rows

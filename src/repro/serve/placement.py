@@ -1,0 +1,185 @@
+"""Replica placement: splitting the socket and searching configurations.
+
+A :class:`Placement` assigns each of R replicas a disjoint block of T
+cores; :func:`enumerate_placements` walks every replica count the socket
+supports, giving each replica the largest equal thread block that fits
+(leftover cores idle — a 3-replica split of 8 cores runs 3 x 2 threads).
+
+:func:`search_configurations` is the planner: it simulates the trace
+under every (placement x max-batch) candidate, keeps the configurations
+whose modelled p99 latency meets the SLO, and returns the
+throughput-optimal one (ties: lower p99, then fewer replicas, smaller
+batch — fully deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.isa.machine import MachineModel
+from repro.workloads import LayerGemm
+
+from .batcher import BatchPolicy, ServingResult, simulate_serving
+from .executor import Instance, ModelExecutor
+from .report import serving_metrics
+from .traffic import Request
+
+
+@dataclass(frozen=True)
+class Placement:
+    """R replicas x T threads on disjoint core blocks."""
+
+    replicas: int
+    threads_per_replica: int
+
+    @property
+    def cores_used(self) -> int:
+        return self.replicas * self.threads_per_replica
+
+    def core_assignment(self) -> Tuple[Tuple[int, ...], ...]:
+        """Replica -> core ids; blocks are contiguous and disjoint."""
+        t = self.threads_per_replica
+        return tuple(
+            tuple(range(r * t, (r + 1) * t)) for r in range(self.replicas)
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.replicas}rx{self.threads_per_replica}t"
+
+
+def enumerate_placements(machine: MachineModel) -> List[Placement]:
+    """Every replica count the socket supports, threads maximized.
+
+    For each R in 1..cores the replica gets ``cores // R`` threads; the
+    (R, T) pairs are returned in increasing-R order and never
+    over-subscribe a core (see :meth:`Placement.core_assignment`).
+    """
+    placements = []
+    for replicas in range(1, machine.cores + 1):
+        threads = machine.cores // replicas
+        if threads < 1:
+            break
+        placements.append(
+            Placement(replicas=replicas, threads_per_replica=threads)
+        )
+    return placements
+
+
+@dataclass
+class ConfigOutcome:
+    """One simulated (placement, policy) candidate and its metrics."""
+
+    placement: Placement
+    policy: BatchPolicy
+    result: ServingResult
+    metrics: dict
+    executor: ModelExecutor
+
+    @property
+    def label(self) -> str:
+        return f"{self.placement.label}xb{self.policy.max_batch}"
+
+    def meets_slo(self, slo_p99_ms: float) -> bool:
+        return self.metrics["p99_ms"] <= slo_p99_ms
+
+
+def evaluate_configuration(
+    trace: Sequence[Request],
+    machine: MachineModel,
+    model: Union[str, Sequence[Instance]],
+    placement: Placement,
+    policy: BatchPolicy,
+    use_tuned: bool = False,
+    executor: Optional[ModelExecutor] = None,
+) -> ConfigOutcome:
+    """Simulate one configuration end to end."""
+    if executor is None:
+        executor = ModelExecutor(
+            machine,
+            model=model,
+            threads=placement.threads_per_replica,
+            replicas=placement.replicas,
+            use_tuned=use_tuned,
+        )
+    result = simulate_serving(
+        trace, placement.replicas, policy, executor.batch_time_ms
+    )
+    return ConfigOutcome(
+        placement=placement,
+        policy=policy,
+        result=result,
+        metrics=serving_metrics(result),
+        executor=executor,
+    )
+
+
+def search_configurations(
+    trace: Sequence[Request],
+    machine: MachineModel,
+    model: Union[str, Sequence[Instance]],
+    slo_p99_ms: float,
+    batch_candidates: Sequence[int] = (1, 2, 4, 8),
+    max_wait_ms: float = 2.0,
+    use_tuned: bool = False,
+    placements: Optional[Sequence[Placement]] = None,
+) -> Tuple[ConfigOutcome, List[ConfigOutcome]]:
+    """The placement search: best SLO-feasible config + every candidate.
+
+    Feasible means modelled p99 <= the SLO; among feasible candidates
+    the winner maximizes throughput (ties: lower p99, fewer replicas,
+    smaller batch cap).  When nothing meets the SLO the lowest-p99
+    candidate is returned so the report can say how far off it is.
+    """
+    if placements is None:
+        placements = enumerate_placements(machine)
+    batch_candidates = tuple(dict.fromkeys(int(b) for b in batch_candidates))
+    if not batch_candidates or min(batch_candidates) < 1:
+        raise ValueError(
+            f"batch candidates must be >= 1, got {batch_candidates}"
+        )
+    outcomes: List[ConfigOutcome] = []
+    for placement in placements:
+        executor = ModelExecutor(
+            machine,
+            model=model,
+            threads=placement.threads_per_replica,
+            replicas=placement.replicas,
+            use_tuned=use_tuned,
+        )
+        for max_batch in batch_candidates:
+            outcomes.append(
+                evaluate_configuration(
+                    trace,
+                    machine,
+                    model,
+                    placement,
+                    BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait_ms),
+                    use_tuned=use_tuned,
+                    executor=executor,
+                )
+            )
+
+    def preference(o: ConfigOutcome):
+        return (
+            -o.metrics["throughput_rps"],
+            o.metrics["p99_ms"],
+            o.placement.replicas,
+            o.policy.max_batch,
+        )
+
+    feasible = [o for o in outcomes if o.meets_slo(slo_p99_ms)]
+    if feasible:
+        best = min(feasible, key=preference)
+    else:
+        best = min(
+            outcomes,
+            key=lambda o: (
+                o.metrics["p99_ms"],
+                -o.metrics["throughput_rps"],
+                o.placement.replicas,
+                o.policy.max_batch,
+            ),
+        )
+    return best, outcomes

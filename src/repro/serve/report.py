@@ -1,0 +1,147 @@
+"""Serving metrics and the JSON/figure report.
+
+Percentiles use the nearest-rank definition — ``p(q)`` is the smallest
+observed value with at least ``q`` percent of the sample at or below it
+— so every reported number is an actual simulated latency (no
+interpolation) and the math is exact on tiny samples, which the tests
+pin down (single element, p0/p100, even-count medians).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.eval.figures import bar_chart
+from repro.eval.report import render_table
+
+from .batcher import ServingResult
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of a sample (q in [0, 100])."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def serving_metrics(result: ServingResult) -> dict:
+    """Aggregate one simulation into the report's metric block."""
+    latencies = result.latencies_ms
+    if not latencies:
+        raise ValueError("serving result has no served requests")
+    sizes: dict = {}
+    for batch in result.batches:
+        sizes[batch.size] = sizes.get(batch.size, 0) + 1
+    return {
+        "requests": len(latencies),
+        "batches": len(result.batches),
+        "mean_batch": result.mean_batch,
+        "batch_sizes": {str(k): v for k, v in sorted(sizes.items())},
+        "throughput_rps": result.throughput_rps,
+        "makespan_ms": result.makespan_ms,
+        "mean_ms": sum(latencies) / len(latencies),
+        "p50_ms": percentile(latencies, 50),
+        "p95_ms": percentile(latencies, 95),
+        "p99_ms": percentile(latencies, 99),
+        "max_ms": max(latencies),
+    }
+
+
+def build_report(
+    best,
+    outcomes,
+    machine_name: str,
+    isa: str,
+    model: str,
+    trace_info: dict,
+    slo_p99_ms: float,
+    use_tuned: bool,
+) -> dict:
+    """The full JSON report: chosen config, metrics, candidates, layers."""
+    return {
+        "machine": machine_name,
+        "isa": isa,
+        "model": model,
+        "trace": trace_info,
+        "slo_p99_ms": slo_p99_ms,
+        "use_tuned": use_tuned,
+        "config": {
+            "replicas": best.placement.replicas,
+            "threads_per_replica": best.placement.threads_per_replica,
+            "cores_used": best.placement.cores_used,
+            "core_assignment": [
+                list(block) for block in best.placement.core_assignment()
+            ],
+            "max_batch": best.policy.max_batch,
+            "max_wait_ms": best.policy.max_wait_ms,
+            "slo_met": best.meets_slo(slo_p99_ms),
+        },
+        "metrics": best.metrics,
+        "per_layer": best.executor.layer_records(),
+        "candidates": [candidate_row(o) for o in outcomes],
+    }
+
+
+def candidate_row(outcome) -> dict:
+    return {
+        "config": outcome.label,
+        "replicas": outcome.placement.replicas,
+        "threads": outcome.placement.threads_per_replica,
+        "max_batch": outcome.policy.max_batch,
+        "throughput_rps": outcome.metrics["throughput_rps"],
+        "p50_ms": outcome.metrics["p50_ms"],
+        "p99_ms": outcome.metrics["p99_ms"],
+        "mean_batch": outcome.metrics["mean_batch"],
+    }
+
+
+def latency_throughput_figure(report: dict, title: str = "") -> str:
+    """The latency-throughput frontier as text charts.
+
+    One bar group per candidate configuration: achieved throughput next
+    to its p99 latency, plus the candidate table — the serving analogue
+    of the eval figures, rendered through the same
+    :mod:`repro.eval.figures` machinery.
+    """
+    rows: List[dict] = report["candidates"]
+    title = title or (
+        f"Latency-throughput frontier — {report['machine']} "
+        f"serving {report['model']} "
+        f"(SLO p99 <= {report['slo_p99_ms']:g} ms)"
+    )
+    text = render_table(
+        rows,
+        columns=[
+            "config",
+            "replicas",
+            "threads",
+            "max_batch",
+            "throughput_rps",
+            "p50_ms",
+            "p99_ms",
+            "mean_batch",
+        ],
+        title=title,
+    )
+    text += "\n\n" + bar_chart(
+        rows, x="config", series=["throughput_rps"], unit=" rps"
+    )
+    text += "\n" + bar_chart(rows, x="config", series=["p99_ms"], unit=" ms")
+    return text
+
+
+def save_report(report: dict, path: Union[str, Path]) -> Path:
+    """Write the report as deterministic (sorted-key) JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path

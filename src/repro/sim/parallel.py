@@ -31,7 +31,7 @@ memory model.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.isa.machine import MachineModel
@@ -253,6 +253,59 @@ def _candidate_partitions(
         )
         for jc, ic in candidate_grids(threads, m, n, machine, mr, nr)
     ]
+
+
+# ---------------------------------------------------------------------------
+# Replica-scoped topology views
+# ---------------------------------------------------------------------------
+
+
+def replica_topology(
+    machine: MachineModel, replicas: int, threads_per_replica: int
+) -> MachineModel:
+    """One replica's view of the socket: its cores, its bandwidth share.
+
+    The serving layer splits a socket into ``replicas`` independent
+    model instances of ``threads_per_replica`` cores each.  A replica's
+    GEMMs run the ordinary threaded model, but on a scoped machine view:
+    ``cores`` shrinks to the replica's own cores and the *socket* DRAM
+    bandwidth is divided evenly across replicas (they stream
+    concurrently, so none can claim the whole socket).  Once the share
+    drops below the per-core stream bound — many narrow replicas — the
+    per-core figure clamps down to the share too, so the ensemble never
+    models more aggregate bandwidth than the physical socket has
+    (:meth:`MachineModel.stream_bandwidth` would otherwise floor each
+    replica at the uncontended per-core rate).
+
+    With ``replicas=1`` every field except ``cores`` and the name is
+    unchanged, so a single-replica serving run prices GEMMs bit-for-bit
+    like the plain threaded model.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if threads_per_replica < 1:
+        raise ValueError(
+            f"threads_per_replica must be >= 1, got {threads_per_replica}"
+        )
+    if replicas * threads_per_replica > machine.cores:
+        raise ValueError(
+            f"{replicas} replicas x {threads_per_replica} threads "
+            f"over-subscribes the {machine.cores}-core socket "
+            f"of {machine.name}"
+        )
+    per_core = machine.dram_bandwidth_bytes_per_cycle
+    socket = machine.socket_dram_bandwidth_bytes_per_cycle or per_core
+    share = socket / replicas
+    return replace(
+        machine,
+        name=(
+            f"{machine.name} [{threads_per_replica}c replica, "
+            f"1 of {replicas}]"
+        ),
+        cores=threads_per_replica,
+        dram_bandwidth_bytes_per_cycle=min(per_core, share),
+        socket_dram_bandwidth_bytes_per_cycle=share,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -1,18 +1,35 @@
 """Evaluation workloads: DNN layer GEMMs (Tables I/II) and square sweeps."""
 
 from .conv import ConvSpec, im2row_gemm_dims, im2row_matrix
-from .resnet50 import RESNET50_LAYERS, resnet50_instances
+from .resnet50 import RESNET50_LAYERS, LayerGemm, resnet50_instances
 from .square import SQUARE_SIZES, square_shapes
 from .vgg16 import VGG16_LAYERS, vgg16_instances
 
 __all__ = [
     "ConvSpec",
+    "LayerGemm",
     "RESNET50_LAYERS",
     "SQUARE_SIZES",
     "VGG16_LAYERS",
     "im2row_gemm_dims",
     "im2row_matrix",
+    "model_instances",
     "resnet50_instances",
     "square_shapes",
     "vgg16_instances",
 ]
+
+#: workload names servable by model name (repro.serve, examples)
+SERVABLE_MODELS = ("resnet50", "vgg16")
+
+
+def model_instances(model: str):
+    """The (layer_number, LayerGemm) instance list of a named model."""
+    name = model.lower()
+    if name == "resnet50":
+        return resnet50_instances()
+    if name == "vgg16":
+        return vgg16_instances()
+    raise KeyError(
+        f"unknown model {model!r}; servable: {', '.join(SERVABLE_MODELS)}"
+    )

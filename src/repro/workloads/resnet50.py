@@ -35,6 +35,20 @@ class LayerGemm:
     def instances(self) -> int:
         return len(self.layer_numbers)
 
+    def batched_dims(self, batch: int) -> Tuple[int, int, int]:
+        """GEMM (m, n, k) of this layer at ``batch`` coalesced inputs.
+
+        IM2ROW stacks every image's output pixels as extra GEMM rows, so
+        batching scales m by the batch size while n and k (the filter
+        matrix) are untouched — the packed B panel is shared by the
+        whole batch, which is what makes request batching pay.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        dims = im2row_gemm_dims(self.conv, batch=batch)
+        assert dims == (batch * self.m, self.n, self.k)
+        return dims
+
 
 def _layer(layer_id, numbers, m, n, k, conv) -> LayerGemm:
     derived = im2row_gemm_dims(conv)

@@ -1,0 +1,420 @@
+"""Tests for the inference serving subsystem (repro.serve).
+
+The load-bearing invariants:
+
+* seeded traces — and therefore whole serving reports — are
+  deterministic, and CSV round-trips are bit-exact;
+* one replica at batch 1 with T threads prices a forward pass exactly
+  like the existing threaded ResNet sweep (same breakdowns, same
+  accumulation order — equality, not approx);
+* batching is sublinear (the shared B panel amortizes), which is the
+  entire reason the batcher exists;
+* nearest-rank percentile math is exact on tiny samples;
+* every enumerated replica x thread placement covers the socket with
+  no core double-booked;
+* with an active tune cache, serve and the eval ``--use-tuned`` path
+  dispatch the same per-layer kernels as the tuned winners.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import tune
+from repro.eval.harness import (
+    exo_gemm_breakdown,
+    machine_context,
+    threaded_instance_time_data,
+    tuned_layer_breakdown,
+)
+from repro.isa.machine import CARMEL, MACHINES
+from repro.serve import (
+    BatchPolicy,
+    ModelExecutor,
+    Placement,
+    Request,
+    enumerate_placements,
+    evaluate_configuration,
+    load_trace,
+    percentile,
+    save_trace,
+    serving_metrics,
+    simulate_serving,
+    synthetic_trace,
+)
+from repro.serve.__main__ import main as serve_main
+from repro.sim.parallel import replica_topology
+from repro.workloads import ConvSpec, resnet50_instances
+from repro.workloads.resnet50 import LayerGemm
+
+#: a small layer whose GEMMs are cheap enough to tune inside a test
+SMALL_LAYER = LayerGemm(
+    layer_id=1,
+    layer_numbers=(1,),
+    m=16,
+    n=48,
+    k=4,
+    conv=ConvSpec(4, 4, 4, 48, 1, 1),
+)
+
+
+# ---------------------------------------------------------------------------
+# Traffic
+# ---------------------------------------------------------------------------
+
+
+class TestTraffic:
+    def test_seeded_trace_is_deterministic(self):
+        a = synthetic_trace(50.0, 400.0, seed=7)
+        b = synthetic_trace(50.0, 400.0, seed=7)
+        assert a == b
+        assert a != synthetic_trace(50.0, 400.0, seed=8)
+
+    def test_trace_is_ordered_and_bounded(self):
+        trace = synthetic_trace(80.0, 500.0, seed=1)
+        assert trace
+        arrivals = [r.arrival_ms for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < t <= 500.0 for t in arrivals)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+    def test_csv_round_trip_bit_exact(self, tmp_path):
+        trace = synthetic_trace(60.0, 300.0, seed=3)
+        path = save_trace(trace, tmp_path / "trace.csv")
+        assert load_trace(path) == trace
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_trace(0.0, 100.0)
+        with pytest.raises(ValueError):
+            synthetic_trace(10.0, -1.0)
+
+
+# ---------------------------------------------------------------------------
+# Percentile math
+# ---------------------------------------------------------------------------
+
+
+class TestPercentile:
+    def test_single_element(self):
+        assert percentile([5.0], 0) == 5.0
+        assert percentile([5.0], 50) == 5.0
+        assert percentile([5.0], 100) == 5.0
+
+    def test_nearest_rank_even_count(self):
+        # nearest-rank p50 of four values is the second, not an average
+        assert percentile([4.0, 1.0, 3.0, 2.0], 50) == 2.0
+        assert percentile([4.0, 1.0, 3.0, 2.0], 75) == 3.0
+
+    def test_extremes(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+
+# ---------------------------------------------------------------------------
+# Batcher
+# ---------------------------------------------------------------------------
+
+
+def _trace(*arrivals):
+    return tuple(
+        Request(request_id=i, arrival_ms=t)
+        for i, t in enumerate(arrivals)
+    )
+
+
+class TestBatcher:
+    def test_batch_one_serves_fifo(self):
+        result = simulate_serving(
+            _trace(0.0, 1.0, 2.0), 1, BatchPolicy(1, 0.0), lambda b: 10.0
+        )
+        assert [b.size for b in result.batches] == [1, 1, 1]
+        assert [s.completion_ms for s in result.served] == [
+            10.0,
+            20.0,
+            30.0,
+        ]
+
+    def test_wait_coalesces_full_batch(self):
+        """Four arrivals within the wait window form one batch."""
+        result = simulate_serving(
+            _trace(0.0, 1.0, 2.0, 3.0),
+            1,
+            BatchPolicy(max_batch=4, max_wait_ms=10.0),
+            lambda b: 10.0,
+        )
+        assert [b.size for b in result.batches] == [4]
+        # the batch closes at the 4th arrival, not the wait expiry
+        assert result.batches[0].dispatch_ms == 3.0
+
+    def test_wait_expiry_closes_partial_batch(self):
+        result = simulate_serving(
+            _trace(0.0, 30.0),
+            1,
+            BatchPolicy(max_batch=4, max_wait_ms=5.0),
+            lambda b: 1.0,
+        )
+        assert [b.size for b in result.batches] == [1, 1]
+        assert result.batches[0].dispatch_ms == 5.0
+
+    def test_final_partial_batch_waits_for_the_timer(self):
+        """The batcher never peeks at the trace's end: a last batch
+        that cannot fill still waits out the head's max_wait."""
+        result = simulate_serving(
+            _trace(0.0, 2.0),
+            1,
+            BatchPolicy(max_batch=4, max_wait_ms=10.0),
+            lambda b: 1.0,
+        )
+        assert [b.size for b in result.batches] == [2]
+        assert result.batches[0].dispatch_ms == 10.0
+        assert [s.latency_ms for s in result.served] == [11.0, 9.0]
+
+    def test_backlogged_replica_drains_queue(self):
+        """A replica freeing after the close time batches the backlog."""
+        result = simulate_serving(
+            _trace(0.0, 1.0, 2.0),
+            1,
+            BatchPolicy(max_batch=4, max_wait_ms=0.0),
+            lambda b: 10.0,
+        )
+        assert [b.size for b in result.batches] == [1, 2]
+        assert result.batches[1].dispatch_ms == 10.0
+
+    def test_replicas_round_robin_by_free_time(self):
+        result = simulate_serving(
+            _trace(0.0, 1.0, 2.0, 3.0),
+            2,
+            BatchPolicy(1, 0.0),
+            lambda b: 10.0,
+        )
+        assert {s.replica for s in result.served} == {0, 1}
+        # two servers halve the makespan of the serial case
+        assert max(s.completion_ms for s in result.served) == 21.0
+
+    def test_metrics_are_consistent(self):
+        result = simulate_serving(
+            synthetic_trace(100.0, 300.0, seed=5),
+            2,
+            BatchPolicy(4, 2.0),
+            lambda b: 3.0 + b,
+        )
+        met = serving_metrics(result)
+        assert met["requests"] == len(result.served)
+        assert met["p50_ms"] <= met["p95_ms"] <= met["p99_ms"]
+        assert met["p99_ms"] <= met["max_ms"]
+        assert met["throughput_rps"] > 0
+        assert met["mean_batch"] >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Replica topology and placement
+# ---------------------------------------------------------------------------
+
+
+class TestPlacement:
+    def test_replica_view_scales_socket_share(self):
+        view = replica_topology(CARMEL, 2, 4)
+        assert view.cores == 4
+        assert (
+            view.socket_dram_bandwidth_bytes_per_cycle
+            == CARMEL.socket_dram_bandwidth_bytes_per_cycle / 2
+        )
+        # everything the serial timing model reads is untouched
+        assert view.caches == CARMEL.caches
+        assert view.freq_ghz == CARMEL.freq_ghz
+
+    def test_replica_ensemble_never_exceeds_the_socket(self):
+        """Many narrow replicas: aggregate modelled stream bandwidth
+        stays within the physical socket (the per-core floor must not
+        resurrect bandwidth the split already spent)."""
+        for replicas in (2, 4, 5, 8):
+            view = replica_topology(CARMEL, replicas, 1)
+            aggregate = replicas * view.stream_bandwidth(1)
+            assert (
+                aggregate
+                <= CARMEL.socket_dram_bandwidth_bytes_per_cycle + 1e-9
+            )
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            replica_topology(CARMEL, 4, 4)
+        with pytest.raises(ValueError):
+            replica_topology(CARMEL, 0, 1)
+
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_exhaustive_cover_never_double_books_a_core(
+        self, machine_name
+    ):
+        machine = MACHINES[machine_name]
+        placements = enumerate_placements(machine)
+        assert placements[0] == Placement(1, machine.cores)
+        assert len(placements) == machine.cores
+        for placement in placements:
+            blocks = placement.core_assignment()
+            assert len(blocks) == placement.replicas
+            flat = [core for block in blocks for core in block]
+            assert len(flat) == len(set(flat)) == placement.cores_used
+            assert placement.cores_used <= machine.cores
+            assert all(0 <= core < machine.cores for core in flat)
+            assert all(
+                len(block) == placement.threads_per_replica
+                for block in blocks
+            )
+
+
+# ---------------------------------------------------------------------------
+# Executor: parity and batching physics
+# ---------------------------------------------------------------------------
+
+
+class TestExecutor:
+    def test_batch1_single_replica_matches_threaded_sweep(self):
+        """serve(batch=1, 1 replica, T threads) == the threaded ResNet
+        sweep, exactly — same breakdowns, same accumulation order."""
+        threads = 2
+        ctx = machine_context(CARMEL)
+        rows = threaded_instance_time_data(
+            resnet50_instances(), ctx, (threads,)
+        )
+        sweep_total_s = rows[-1][f"t{threads}"]
+        executor = ModelExecutor(
+            CARMEL, model="resnet50", threads=threads, replicas=1
+        )
+        assert executor.batch_time_ms(1) == sweep_total_s * 1e3
+
+    def test_batching_is_sublinear(self):
+        """Doubling the batch less than doubles the pass: the packed B
+        panel is shared by the whole batch."""
+        executor = ModelExecutor(CARMEL, model="vgg16", threads=2)
+        t1 = executor.batch_time_ms(1)
+        t2 = executor.batch_time_ms(2)
+        assert t1 < t2 < 2 * t1
+
+    def test_layer_records_cover_priced_batches(self):
+        executor = ModelExecutor(
+            CARMEL, model=[(1, SMALL_LAYER)], threads=1
+        )
+        executor.batch_time_ms(1)
+        executor.batch_time_ms(3)
+        records = executor.layer_records()
+        assert [(r["layer"], r["batch"]) for r in records] == [
+            (1, 1),
+            (1, 3),
+        ]
+        assert records[1]["m"] == 3 * SMALL_LAYER.m
+        assert all(r["time_ms"] > 0 for r in records)
+
+
+# ---------------------------------------------------------------------------
+# Tuned per-layer dispatch (the ROADMAP open item)
+# ---------------------------------------------------------------------------
+
+
+class TestTunedDispatch:
+    def test_serve_and_eval_match_cached_winners(self, tmp_path):
+        problem = (SMALL_LAYER.m, SMALL_LAYER.n, SMALL_LAYER.k)
+        cache = tune.TuneCache(tmp_path / "tunecache")
+        artifact = tune.sweep(("neon",), [problem], cache=cache)
+        winner, _ = tune.best_kernel(artifact, "neon", *problem)
+        with tune.using(cache):
+            ctx = machine_context(CARMEL)
+            eval_tile, _ = tuned_layer_breakdown(ctx, *problem)
+            executor = ModelExecutor(
+                CARMEL,
+                model=[(1, SMALL_LAYER)],
+                threads=1,
+                use_tuned=True,
+            )
+            _, serve_tile = executor.layer_time(SMALL_LAYER, 1)
+            hits_before = cache.hits
+            assert eval_tile == serve_tile == winner
+            assert cache.hits > 0 and hits_before > 0
+
+    def test_threaded_sweep_uses_tuned_main_tile(self, tmp_path):
+        problem = (SMALL_LAYER.m, SMALL_LAYER.n, SMALL_LAYER.k)
+        cache = tune.TuneCache(tmp_path / "tunecache")
+        with tune.using(cache):
+            ctx = machine_context(CARMEL)
+            rows = threaded_instance_time_data(
+                [(1, SMALL_LAYER)], ctx, (1,), use_tuned=True
+            )
+            tile, _ = tuned_layer_breakdown(ctx, *problem)
+            serial = exo_gemm_breakdown(*problem, main=tile, ctx=ctx)
+        assert rows[-1]["t1"] == serial.seconds
+
+
+# ---------------------------------------------------------------------------
+# End-to-end determinism (search + CLI)
+# ---------------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    def test_configuration_outcome_is_deterministic(self):
+        trace = synthetic_trace(60.0, 200.0, seed=2)
+        outcomes = [
+            evaluate_configuration(
+                trace,
+                CARMEL,
+                "vgg16",
+                Placement(replicas=2, threads_per_replica=2),
+                BatchPolicy(max_batch=2, max_wait_ms=2.0),
+            )
+            for _ in range(2)
+        ]
+        assert outcomes[0].metrics == outcomes[1].metrics
+
+    def test_cli_report_is_deterministic(self, tmp_path):
+        args = [
+            "--machine",
+            "carmel",
+            "--model",
+            "vgg16",
+            "--trace",
+            "synthetic",
+            "--rate",
+            "60",
+            "--duration",
+            "150",
+            "--slo-p99",
+            "200ms",
+            "--replicas",
+            "2",
+            "--threads",
+            "2",
+            "--max-batch",
+            "2",
+        ]
+        texts = []
+        for run in ("a", "b"):
+            outdir = tmp_path / run
+            assert serve_main([str(outdir), *args]) == 0
+            path = outdir / "serve_carmel_vgg16.json"
+            texts.append(path.read_text())
+        assert texts[0] == texts[1]
+        report = json.loads(texts[0])
+        assert report["config"]["replicas"] == 2
+        assert report["config"]["core_assignment"] == [[0, 1], [2, 3]]
+        assert report["metrics"]["p50_ms"] <= report["metrics"]["p99_ms"]
+        assert report["per_layer"]
+
+    def test_cli_rejects_bad_arguments(self, tmp_path, capsys):
+        assert serve_main(["--machine", "nonesuch"]) == 2
+        assert serve_main(["--replicas", "2"]) == 2
+        assert serve_main(["--trace", str(tmp_path / "missing.csv")]) == 2
+        bad = tmp_path / "bad.csv"
+        bad.write_text("request_id,arrival_ms\n0,not-a-number\n")
+        assert serve_main(["--trace", str(bad)]) == 2
+        capsys.readouterr()
