@@ -3,10 +3,11 @@
 The Jetson AGX Xavier carries eight Carmel cores; the paper evaluates
 one.  This benchmark sweeps the threaded execution model over machines x
 thread counts — each backend's generated family, partitioned by the
-jc/ic thread partitioner up to the machine's core count — and asserts
+jc/ic/pc thread partitioner up to the machine's core count — and asserts
 the expected physics: the high-intensity 2000^3 square GEMM scales
-near-linearly on every machine, while a low-intensity thin-k problem
-saturates against the socket's DRAM stream.
+near-linearly on every machine (crossing the socket boundary on the
+2-socket NUMA server), while a low-intensity thin-k problem saturates
+against the socket's DRAM stream.
 """
 
 from __future__ import annotations
@@ -16,12 +17,12 @@ import pytest
 from repro.eval.harness import exo_parallel_breakdown, machine_context
 from repro.isa.machine import MACHINES
 
-#: the four backend machines (generic-arm shares the Neon family and
-#: adds nothing to the sweep)
-SCALING_MACHINES = ("carmel", "avx512", "rvv128", "rvv256")
+#: the backend machines, including the 2-socket NUMA server
+#: (generic-arm shares the Neon family and adds nothing to the sweep)
+SCALING_MACHINES = ("carmel", "avx512", "rvv128", "rvv256", "numa2s")
 
 
-@pytest.mark.requires_isa("neon", "avx512", "rvv128", "rvv256")
+@pytest.mark.requires_isa("neon", "avx512", "rvv128", "rvv256", "numa2s")
 def test_multicore_scaling_all_machines(benchmark):
     contexts = {
         name: machine_context(MACHINES[name]) for name in SCALING_MACHINES
@@ -50,7 +51,7 @@ def test_multicore_scaling_all_machines(benchmark):
         for i, b in enumerate(square):
             print(
                 f"  {name:9s}  {i + 1:7d}  {b.gflops:9.1f}"
-                f"  {b.jc_ways}x{b.ic_ways}"
+                f"  {b.partition_label}"
             )
 
     for name in SCALING_MACHINES:
@@ -58,11 +59,12 @@ def test_multicore_scaling_all_machines(benchmark):
         thin = [b.gflops for b in curves[(name, "thin_k16")]]
         cores = MACHINES[name].cores
         # compute-bound problem scales near-linearly to the core count
+        # (the NUMA server pays the inter-socket link past one socket)
         assert square[-1] / square[0] > 0.85 * cores
         # GFLOPS is monotone non-decreasing in threads on every machine
         assert all(b >= a for a, b in zip(square, square[1:]))
         assert all(b >= a for a, b in zip(thin, thin[1:]))
-        # the thin problem saturates against the socket's DRAM stream
+        # the thin problem saturates against the DRAM stream ceiling
         last = curves[(name, "thin_k16")][-1]
         assert thin[-1] / thin[-2] < 1.05
         assert last.total_cycles == pytest.approx(last.dram_limit_cycles)
@@ -70,3 +72,9 @@ def test_multicore_scaling_all_machines(benchmark):
     # the no-L3 edge core never row-partitions (B panels are private)
     for b in curves[("rvv128", "square_2000")]:
         assert b.ic_ways == 1
+
+    # the 2-socket server keeps scaling past its first socket: the
+    # second socket's cores and memory controllers are modelled
+    numa = curves[("numa2s", "square_2000")]
+    one_socket = MACHINES["numa2s"].cores_per_socket
+    assert numa[-1].gflops > 1.5 * numa[one_socket - 1].gflops

@@ -6,15 +6,16 @@ writes one text report per figure into the output directory (default
 ``results/``), plus a SUMMARY.txt with the headline findings.
 
 ``--isa NAME`` retargets the evaluation to another registered backend
-(``rvv128``, ``rvv256``, ``avx512``): the hand-written ARM baselines do
-not exist there, so the report is the generated-family solo sweep, the
-square-GEMM sweep with model-driven kernel selection, and the cross-ISA
-portability table.
+(``rvv128``, ``rvv256``, ``avx512``, or the 2-socket ``numa2s``
+server): the hand-written ARM baselines do not exist there, so the
+report is the generated-family solo sweep, the square-GEMM sweep with
+model-driven kernel selection, and the cross-ISA portability table.
 
 ``--threads N`` adds the multi-core execution model: a thread-scaling
-figure for the target machine (1..N threads, jc/ic partition choice and
-modelled GFLOPS per count) plus threaded variants of the ResNet50 and
-VGG16 end-to-end sweeps (see ``docs/parallel.md``).
+figure for the target machine (1..N threads, jc/ic/pc partition choice
+and modelled GFLOPS per count — spilling onto the second socket on a
+multi-socket machine) plus threaded variants of the ResNet50 and VGG16
+end-to-end sweeps (see ``docs/parallel.md``).
 
 ``--use-tuned`` activates the persistent tune cache and dispatches each
 DNN layer's kernel through the tuned winners (the same per-layer path
@@ -190,7 +191,7 @@ usage: python -m repro.eval [outdir] [--isa NAME] [--threads N]
 
 Regenerate the paper's evaluation figures into outdir (default
 results/).  --isa retargets to a registered backend (rvv128, rvv256,
-avx512); --threads N adds the multi-core figures; --use-tuned activates
+avx512, numa2s); --threads N adds the multi-core figures; --use-tuned activates
 the persistent tune cache so the ResNet-50/VGG16 per-layer sweeps
 dispatch each layer's kernel through the tuned winners (--tune-cache
 overrides the cache root, default out/tunecache)."""

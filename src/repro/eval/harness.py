@@ -308,15 +308,18 @@ def exo_parallel_breakdown(
     threads: int,
     ctx: EvalContext,
     main: Optional[Tuple[int, int]] = None,
+    pc_ways: Optional[int] = None,
 ) -> ParallelBreakdown:
     """Threaded five-loop GEMM with per-slice edge/tail kernel selection.
 
-    The jc/ic partitioner splits the plane at the main tile's
+    The jc/ic/pc partitioner splits the traversal at the main tile's
     granularity; each thread slice then covers its own sub-plane through
     :func:`plane_chunk_plans`, so a slice that inherits the ragged tail
     composes VLA ``vsetvl`` tails (or the family's edge kernels) with
     the partition's uneven extents.  ``ctx`` is required: the threaded
-    model never defaults a machine.
+    model never defaults a machine.  ``pc_ways`` pins the reduction
+    axis (``pc_ways=1`` restricts the search to plane-only grids — the
+    pre-NUMA model exactly).
 
     With ``threads=1`` this equals :func:`exo_gemm_breakdown` exactly.
     """
@@ -332,6 +335,7 @@ def exo_parallel_breakdown(
             ctx, mt, nt, mr_main, nr_main
         ),
         model=ctx.model,
+        pc_ways=pc_ways,
     )
 
 
@@ -575,7 +579,7 @@ def thread_scaling_data(
         rows.append(
             {
                 "threads": t,
-                "partition": f"{b.jc_ways}x{b.ic_ways}",
+                "partition": b.partition_label,
                 "GFLOPS": b.gflops,
                 "speedup": serial_cycles / b.total_cycles,
                 "peak_frac": b.gflops / (ctx.machine.peak_gflops() * t),

@@ -11,6 +11,7 @@ a 2-core cluster) / 4 MiB L3.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -61,10 +62,51 @@ class MachineModel:
     #: packed B panel cannot be shared between row-parallel threads and
     #: the partitioner parallelizes the jc loop only
     shared_l3: bool = True
-    #: aggregate DRAM bandwidth of the socket; a single core's streams
+    #: aggregate DRAM bandwidth of *one* socket; a single core's streams
     #: are limited by ``dram_bandwidth_bytes_per_cycle``, and adding
     #: cores raises the achievable bandwidth only up to this ceiling
+    #: (times the number of sockets the threads span)
     socket_dram_bandwidth_bytes_per_cycle: float = 0.0
+    #: physical CPU sockets; ``cores`` counts the whole machine, so a
+    #: 2-socket part with 16 cores per socket has ``cores=32``
+    sockets: int = 1
+    #: NUMA domains (memory controllers); at least one per socket —
+    #: sub-NUMA clustering gives a socket more than one.  Each node owns
+    #: an equal contiguous block of cores and an equal slice of its
+    #: socket's DRAM bandwidth (overridable per node below)
+    numa_nodes: int = 1
+    #: DRAM bandwidth local to one NUMA node; 0 derives it as
+    #: ``socket_dram_bandwidth / nodes_per_socket``
+    numa_dram_bandwidth_bytes_per_cycle: float = 0.0
+    #: multiplicative cost (>= 1) of traffic crossing the inter-socket
+    #: link (QPI/UPI/xGMI-class): remote reads are this factor more
+    #: expensive than local ones in the DRAM-limit model
+    inter_socket_penalty: float = 1.0
+
+    def __post_init__(self):
+        if self.sockets < 1:
+            raise ValueError(f"sockets must be >= 1, got {self.sockets}")
+        if self.numa_nodes < self.sockets:
+            raise ValueError(
+                f"numa_nodes ({self.numa_nodes}) must be >= sockets "
+                f"({self.sockets}): every socket owns at least one node"
+            )
+        if self.numa_nodes % self.sockets:
+            raise ValueError(
+                f"numa_nodes ({self.numa_nodes}) must distribute evenly "
+                f"over {self.sockets} sockets"
+            )
+        if self.cores % self.numa_nodes:
+            raise ValueError(
+                f"cores ({self.cores}) must distribute evenly over "
+                f"{self.numa_nodes} NUMA nodes — each node owns an "
+                "equal contiguous core block"
+            )
+        if self.inter_socket_penalty < 1.0:
+            raise ValueError(
+                "inter_socket_penalty is a cost multiplier and must be "
+                f">= 1, got {self.inter_socket_penalty}"
+            )
 
     def pipe_count(self, pipe: str) -> int:
         for name, count in self.pipes:
@@ -105,20 +147,85 @@ class MachineModel:
         """
         return self.shared_l3 and self.has_cache("L3")
 
+    @property
+    def cores_per_socket(self) -> int:
+        return self.cores // self.sockets
+
+    @property
+    def nodes_per_socket(self) -> int:
+        return self.numa_nodes // self.sockets
+
+    @property
+    def cores_per_numa_node(self) -> int:
+        return self.cores // self.numa_nodes
+
+    @property
+    def numa_node_bandwidth_bytes_per_cycle(self) -> float:
+        """DRAM bandwidth local to one NUMA node.
+
+        Defaults to an even split of the socket bandwidth across the
+        socket's nodes; on a 1-socket, 1-node machine this *is* the
+        socket figure.
+        """
+        if self.numa_dram_bandwidth_bytes_per_cycle:
+            return self.numa_dram_bandwidth_bytes_per_cycle
+        socket = (
+            self.socket_dram_bandwidth_bytes_per_cycle
+            or self.dram_bandwidth_bytes_per_cycle
+        )
+        return socket / self.nodes_per_socket
+
+    def node_of_core(self, core: int) -> int:
+        """The NUMA node owning a core (nodes own contiguous blocks)."""
+        if not 0 <= core < self.cores:
+            raise ValueError(
+                f"core {core} out of range for {self.cores}-core "
+                f"{self.name}"
+            )
+        return core // self.cores_per_numa_node
+
+    def socket_of_core(self, core: int) -> int:
+        return self.node_of_core(core) // self.nodes_per_socket
+
+    def sockets_spanned(self, threads: int) -> int:
+        """Sockets a ``threads``-core ensemble occupies.
+
+        Threads fill sockets in order (core blocks are contiguous), so
+        an ensemble no larger than one socket never crosses the link.
+        """
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        return min(self.sockets, math.ceil(threads / self.cores_per_socket))
+
     def stream_bandwidth(self, threads: int) -> float:
         """Achievable DRAM bandwidth (bytes/cycle) for ``threads`` cores.
 
-        One core cannot saturate the socket: its streams are bounded by
+        One core cannot saturate a socket: its streams are bounded by
         the per-core ``dram_bandwidth_bytes_per_cycle``.  Adding cores
-        adds stream engines until the socket ceiling; a model without an
-        explicit socket figure keeps the single-core bound (so the
-        serial path is unchanged).
+        adds stream engines until the socket ceiling; once the ensemble
+        spills onto a second socket, *that socket's* contribution is
+        again bounded by both its controllers and the stream engines of
+        the few cores actually resident there — one spilled thread adds
+        one core's worth of streams, not a whole socket's.  Threads
+        fill sockets in order (core blocks are contiguous).  A model
+        without an explicit socket figure keeps the single-core bound
+        (so the serial path is unchanged); a 1-socket machine
+        reproduces the pre-NUMA formula exactly.
         """
         if threads < 1:
             raise ValueError(f"threads must be >= 1, got {threads}")
         per_core = self.dram_bandwidth_bytes_per_cycle
         socket = self.socket_dram_bandwidth_bytes_per_cycle or per_core
-        return min(threads * per_core, max(socket, per_core))
+        socket = max(socket, per_core)
+        total = 0.0
+        remaining = threads
+        for _ in range(self.sockets):
+            on_socket = min(remaining, self.cores_per_socket)
+            total += min(on_socket * per_core, socket)
+            remaining -= on_socket
+            if remaining <= 0:
+                break
+        return max(total, per_core)
 
 
 CARMEL = MachineModel(
@@ -244,6 +351,37 @@ RVV_SERVER_VLEN256 = MachineModel(
 """A wide OoO RVV application core (P670/Veyron-class): VLEN=256 with a
 full-width datapath.  Peak FP32 = 2 x 8 x 2 x 2.0 = 64 GFLOPS."""
 
+NUMA_SERVER_2S = MachineModel(
+    name="2-socket AVX-512 NUMA server (2x16 cores, SNC-2)",
+    freq_ghz=2.5,
+    issue_width=4,
+    pipes=(("fma", 2), ("load", 2), ("store", 1), ("alu", 2)),
+    vector_registers=32,
+    vector_bits=512,
+    fma_latency=4,
+    load_latency=5,
+    caches=(
+        CacheLevel("L1", 32 * 1024, 64, 8, 4, 64.0),
+        CacheLevel("L2", 1024 * 1024, 64, 16, 14, 32.0),
+        CacheLevel("L3", 32 * 1024 * 1024, 64, 11, 50, 16.0),
+    ),
+    dram_latency_cycles=200,
+    dram_bandwidth_bytes_per_cycle=12.0,
+    isa="numa2s",
+    cores=32,
+    shared_l3=True,
+    socket_dram_bandwidth_bytes_per_cycle=64.0,
+    sockets=2,
+    numa_nodes=4,  # sub-NUMA clustering: two nodes per socket
+    inter_socket_penalty=1.4,
+)
+"""A dual-socket server built from the AVX-512 core: 16 cores and 64
+bytes/cycle of DRAM bandwidth per socket, sub-NUMA clustering exposing
+two memory domains per socket (32 B/cycle each), and a 1.4x cost on
+traffic crossing the inter-socket link.  The first multi-socket entry:
+an ensemble confined to socket 0 models exactly like the 1-socket
+AVX-512 server."""
+
 
 MACHINES = {
     "carmel": CARMEL,
@@ -251,6 +389,7 @@ MACHINES = {
     "avx512": AVX512_SERVER,
     "rvv128": RVV_EDGE_VLEN128,
     "rvv256": RVV_SERVER_VLEN256,
+    "numa2s": NUMA_SERVER_2S,
 }
 """Registered machine models, keyed by the CLI/eval spelling."""
 

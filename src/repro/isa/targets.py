@@ -30,6 +30,7 @@ from .machine import (
     AVX512_SERVER,
     CARMEL,
     MachineModel,
+    NUMA_SERVER_2S,
     RVV_EDGE_VLEN128,
     RVV_SERVER_VLEN256,
 )
@@ -213,6 +214,17 @@ register_isa_target(
     IsaTarget(
         name="avx512",
         machine=AVX512_SERVER,
+        family=family_for_lanes(16),
+        load_lib=_load_avx512,
+    )
+)
+register_isa_target(
+    IsaTarget(
+        # the 2-socket server executes the same AVX-512 instruction
+        # library and tile family as the 1-socket part; only the
+        # machine (and so the timing/tune-cache fingerprint) differs
+        name="numa2s",
+        machine=NUMA_SERVER_2S,
         family=family_for_lanes(16),
         load_lib=_load_avx512,
     )

@@ -181,7 +181,8 @@ def main(argv=None) -> int:
         }
     if not trace:
         print(
-            "empty trace: raise --rate/--duration or check the CSV",
+            "trace is empty — raise --rate or --duration "
+            "(or check the replayed CSV)",
             file=sys.stderr,
         )
         return 2
@@ -232,6 +233,7 @@ def main(argv=None) -> int:
         trace_info=trace_info,
         slo_p99_ms=args.slo_p99,
         use_tuned=args.use_tuned,
+        machine=machine,
     )
     outdir = Path(args.outdir)
     outdir.mkdir(parents=True, exist_ok=True)

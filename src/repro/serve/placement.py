@@ -1,9 +1,14 @@
-"""Replica placement: splitting the socket and searching configurations.
+"""Replica placement: splitting the machine and searching configurations.
 
 A :class:`Placement` assigns each of R replicas a disjoint block of T
-cores; :func:`enumerate_placements` walks every replica count the socket
-supports, giving each replica the largest equal thread block that fits
-(leftover cores idle — a 3-replica split of 8 cores runs 3 x 2 threads).
+cores; :func:`enumerate_placements` walks every distinct thread width
+the machine supports with the replica count maximized for that width —
+dominated idle-core placements (a 5 x 1 split of 8 cores) are pruned,
+so the planner never simulates a configuration that an all-cores
+placement of the same width beats by construction.  On a NUMA machine
+the core blocks span sockets exactly like the thread partitioner's, so
+:func:`repro.sim.parallel.replica_topology` can pin each replica to its
+node(s).
 
 :func:`search_configurations` is the planner: it simulates the trace
 under every (placement x max-batch) candidate, keeps the configurations
@@ -18,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.isa.machine import MachineModel
+from repro.sim.parallel import replica_numa_nodes, replica_topology
 from repro.workloads import LayerGemm
 
 from .batcher import BatchPolicy, ServingResult, simulate_serving
@@ -44,23 +50,62 @@ class Placement:
             tuple(range(r * t, (r + 1) * t)) for r in range(self.replicas)
         )
 
+    def numa_assignment(
+        self, machine: MachineModel
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Replica -> NUMA node ids its core block touches."""
+        return replica_numa_nodes(
+            machine, self.replicas, self.threads_per_replica
+        )
+
     @property
     def label(self) -> str:
         return f"{self.replicas}rx{self.threads_per_replica}t"
 
 
 def enumerate_placements(machine: MachineModel) -> List[Placement]:
-    """Every replica count the socket supports, threads maximized.
+    """Replica counts worth simulating, dominated ones pruned.
 
-    For each R in 1..cores the replica gets ``cores // R`` threads; the
-    (R, T) pairs are returned in increasing-R order and never
-    over-subscribe a core (see :meth:`Placement.core_assignment`).
+    For each R in 1..cores the replica gets ``T = cores // R`` threads.
+    On a flat-share (single-NUMA-node) machine a placement is kept only
+    when R is the *largest* replica count for its T
+    (``R == cores // T``): the even split gives a lower-R placement of
+    the same width a marginally larger per-replica share (socket/5 vs
+    socket/8), but the max-R placement matches it thread-for-thread on
+    compute while fielding strictly more servers over the same
+    aggregate bandwidth, so 5x1 / 6x1 / 7x1 on an 8-core part are
+    dominated on the planner's throughput-first preference and never
+    simulated.
+
+    On a NUMA machine that argument needs a share check: replicas are
+    pinned to the node(s) their blocks occupy, so fewer replicas of
+    the same width *can* mean fewer residents on the worst node and
+    strictly more bandwidth each.  A lower-replica placement survives
+    exactly when its modelled bandwidth share
+    (:func:`repro.sim.parallel.replica_topology`) strictly beats the
+    max-replica placement of the same width — equal share and fewer
+    servers is still dominated.  The (R, T) pairs are returned in
+    increasing-R order and never over-subscribe a core (see
+    :meth:`Placement.core_assignment`).
     """
+
+    def share(replicas: int, threads: int) -> float:
+        view = replica_topology(machine, replicas, threads)
+        return view.socket_dram_bandwidth_bytes_per_cycle or (
+            view.dram_bandwidth_bytes_per_cycle
+        )
+
     placements = []
     for replicas in range(1, machine.cores + 1):
         threads = machine.cores // replicas
         if threads < 1:
             break
+        r_max = machine.cores // threads
+        if replicas != r_max:
+            if machine.numa_nodes <= 1 or share(replicas, threads) <= share(
+                r_max, threads
+            ):
+                continue  # dominated: more replicas, same speed
         placements.append(
             Placement(replicas=replicas, threads_per_replica=threads)
         )
@@ -131,7 +176,15 @@ def search_configurations(
     the winner maximizes throughput (ties: lower p99, fewer replicas,
     smaller batch cap).  When nothing meets the SLO the lowest-p99
     candidate is returned so the report can say how far off it is.
+
+    An empty trace fails fast here — every candidate would simulate
+    zero requests and crash deep inside the metrics aggregation.
     """
+    if not trace:
+        raise ValueError(
+            "trace is empty — raise the arrival rate or duration "
+            "(or check the replayed CSV)"
+        )
     if placements is None:
         placements = enumerate_placements(machine)
     batch_candidates = tuple(dict.fromkeys(int(b) for b in batch_candidates))

@@ -37,7 +37,11 @@ def serving_metrics(result: ServingResult) -> dict:
     """Aggregate one simulation into the report's metric block."""
     latencies = result.latencies_ms
     if not latencies:
-        raise ValueError("serving result has no served requests")
+        raise ValueError(
+            "serving result has no served requests — the trace was "
+            "empty; raise the arrival rate or duration (or check the "
+            "replayed CSV)"
+        )
     sizes: dict = {}
     for batch in result.batches:
         sizes[batch.size] = sizes.get(batch.size, 0) + 1
@@ -65,8 +69,30 @@ def build_report(
     trace_info: dict,
     slo_p99_ms: float,
     use_tuned: bool,
+    machine=None,
 ) -> dict:
-    """The full JSON report: chosen config, metrics, candidates, layers."""
+    """The full JSON report: chosen config, metrics, candidates, layers.
+
+    Passing the ``machine`` model adds the NUMA pinning of the chosen
+    placement (which node(s) each replica's core block occupies).
+    """
+    config = {
+        "replicas": best.placement.replicas,
+        "threads_per_replica": best.placement.threads_per_replica,
+        "cores_used": best.placement.cores_used,
+        "core_assignment": [
+            list(block) for block in best.placement.core_assignment()
+        ],
+        "max_batch": best.policy.max_batch,
+        "max_wait_ms": best.policy.max_wait_ms,
+        "slo_met": best.meets_slo(slo_p99_ms),
+    }
+    if machine is not None:
+        config["numa_assignment"] = [
+            list(nodes) for nodes in best.placement.numa_assignment(machine)
+        ]
+        config["sockets"] = machine.sockets
+        config["numa_nodes"] = machine.numa_nodes
     return {
         "machine": machine_name,
         "isa": isa,
@@ -74,17 +100,7 @@ def build_report(
         "trace": trace_info,
         "slo_p99_ms": slo_p99_ms,
         "use_tuned": use_tuned,
-        "config": {
-            "replicas": best.placement.replicas,
-            "threads_per_replica": best.placement.threads_per_replica,
-            "cores_used": best.placement.cores_used,
-            "core_assignment": [
-                list(block) for block in best.placement.core_assignment()
-            ],
-            "max_batch": best.policy.max_batch,
-            "max_wait_ms": best.policy.max_wait_ms,
-            "slo_met": best.meets_slo(slo_p99_ms),
-        },
+        "config": config,
         "metrics": best.metrics,
         "per_layer": best.executor.layer_records(),
         "candidates": [candidate_row(o) for o in outcomes],

@@ -70,15 +70,34 @@ def load_trace(path: Union[str, Path]) -> Tuple[Request, ...]:
 
     Accepts the :func:`save_trace` format (header optional); arrival
     times round-trip through ``repr`` so a saved synthetic trace reloads
-    bit-identical.
+    bit-identical.  Rows are validated on load — a duplicate
+    ``request_id`` or a negative ``arrival_ms`` would silently corrupt
+    the per-request accounting of ``simulate_serving`` (two served
+    records for one identity, or arrivals before the trace origin), so
+    either raises ``ValueError`` naming the offending row.
     """
     rows = []
+    seen_ids: dict = {}
     with Path(path).open(newline="") as f:
-        for row in csv.reader(f):
+        for lineno, row in enumerate(csv.reader(f), start=1):
             if not row or row[0].strip().lower() == "request_id":
                 continue
-            rows.append(
-                Request(request_id=int(row[0]), arrival_ms=float(row[1]))
-            )
+            request_id = int(row[0])
+            arrival_ms = float(row[1])
+            if arrival_ms < 0:
+                raise ValueError(
+                    f"{path}, line {lineno}: negative arrival_ms "
+                    f"{arrival_ms!r} for request_id {request_id} — "
+                    "arrivals are milliseconds from the trace start"
+                )
+            if request_id in seen_ids:
+                raise ValueError(
+                    f"{path}, line {lineno}: duplicate request_id "
+                    f"{request_id} (first seen on line "
+                    f"{seen_ids[request_id]}) — per-request accounting "
+                    "needs unique identities"
+                )
+            seen_ids[request_id] = lineno
+            rows.append(Request(request_id=request_id, arrival_ms=arrival_ms))
     rows.sort(key=lambda r: (r.arrival_ms, r.request_id))
     return tuple(rows)

@@ -14,7 +14,8 @@ micro-architectural model with the same observable mechanisms:
 * :mod:`repro.sim.timing` — composition: solo-mode kernel timing and
   five-loop GEMM timing.
 * :mod:`repro.sim.parallel` — the multi-threaded execution model: the
-  jc/ic thread partitioner and the threaded GEMM breakdown.
+  jc/ic/pc thread partitioner (with the partial-C reduction split),
+  NUMA-aware replica topology views, and the threaded GEMM breakdown.
 """
 
 from .parallel import (
@@ -22,6 +23,8 @@ from .parallel import (
     ThreadPartition,
     parallel_gemm_breakdown,
     partition_plane,
+    replica_numa_nodes,
+    replica_topology,
     scaling_curve,
 )
 from .pipeline import KernelTrace, PipelineModel, trace_from_kernel
@@ -36,6 +39,8 @@ __all__ = [
     "parallel_gemm_breakdown",
     "partition_plane",
     "plans_compute_cycles",
+    "replica_numa_nodes",
+    "replica_topology",
     "scaling_curve",
     "solo_kernel_gflops",
     "trace_from_kernel",

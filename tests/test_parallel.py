@@ -17,13 +17,22 @@ Invariants of the thread partitioner and the threaded breakdown:
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.isa.machine import CARMEL, MACHINES, RVV_EDGE_VLEN128
+from repro.isa.machine import (
+    CARMEL,
+    MACHINES,
+    NUMA_SERVER_2S,
+    RVV_EDGE_VLEN128,
+)
 from repro.sim.memory import GemmShape, TileParams, memory_cost
 from repro.sim.parallel import (
+    candidate_grids,
     parallel_gemm_breakdown,
     partition_extent,
     partition_plane,
@@ -287,3 +296,283 @@ class TestHarnessThreading:
         assert rows[0]["speedup"] == pytest.approx(1.0)
         speedups = [r["speedup"] for r in rows]
         assert speedups == sorted(speedups)
+
+
+# ---------------------------------------------------------------------------
+# Single-socket / pc=1 parity with the pre-NUMA model (golden pins)
+# ---------------------------------------------------------------------------
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "threaded_golden.json").read_text()
+)
+
+
+class TestGoldenParity:
+    """The pre-NUMA threaded model, pinned cycle-for-cycle.
+
+    ``tests/data/threaded_golden.json`` holds component breakdowns
+    captured from the model *before* the pc-loop reduction partition
+    and NUMA topologies existed.  Restricting the new model to
+    plane-only grids (``pc_ways=1``) on these 1-socket machines must
+    reproduce every component exactly — equality, not approx.
+    """
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN))
+    def test_pc1_matches_pre_numa_model_exactly(self, key):
+        from repro.eval.harness import (
+            exo_parallel_breakdown,
+            machine_context,
+        )
+
+        name, shape_spec, t_spec = key.split("|")
+        m, n, k = (int(d) for d in shape_spec.split("x"))
+        threads = int(t_spec[1:])
+        ctx = machine_context(MACHINES[name])
+        b = exo_parallel_breakdown(m, n, k, threads, ctx=ctx, pc_ways=1)
+        want = GOLDEN[key]
+        assert b.total_cycles == want["total"]
+        assert b.compute_cycles == want["compute"]
+        assert b.pack_cycles == want["pack"]
+        assert b.c_stall_cycles == want["stall"]
+        assert b.dram_limit_cycles == want["dram"]
+        assert (b.jc_ways, b.ic_ways) == (want["jc"], want["ic"])
+        assert b.pc_ways == 1 and b.reduction_cycles == 0.0
+        # the unrestricted search may only deviate by *winning*: a pc>1
+        # grid is chosen over the golden plane grid only when strictly
+        # faster
+        free = exo_parallel_breakdown(m, n, k, threads, ctx=ctx)
+        assert free.total_cycles <= b.total_cycles
+        if free.pc_ways == 1:
+            assert free.total_cycles == b.total_cycles
+
+
+# ---------------------------------------------------------------------------
+# pc-loop reduction partition
+# ---------------------------------------------------------------------------
+
+
+class TestReductionPartition:
+    @given(
+        m=st.integers(min_value=1, max_value=600),
+        n=st.integers(min_value=1, max_value=600),
+        k=st.integers(min_value=1, max_value=4000),
+        jc=st.integers(min_value=1, max_value=3),
+        ic=st.integers(min_value=1, max_value=3),
+        pc=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_volume_cover_exact(self, m, n, k, jc, ic, pc):
+        """jc x ic x pc slices tile the m x n x k volume exactly."""
+        part = partition_plane(
+            m, n, jc * ic * pc, CARMEL, 8, 12,
+            jc_ways=jc, ic_ways=ic, pc_ways=pc, k=k, kc=256,
+        )
+        volume = sum(sl.m * sl.n * sl.k_extent(k) for sl in part.slices)
+        assert volume == m * n * k
+        # k spans are contiguous, gap-free, and kc-aligned except the
+        # ragged tail
+        if part.pc_ways > 1:
+            k_spans = sorted(
+                {(sl.ks.start, sl.ks.stop) for sl in part.slices}
+            )
+            assert k_spans[0][0] == 0
+            for a, b in zip(k_spans, k_spans[1:]):
+                assert b[0] == a[1]
+            assert k_spans[-1][1] == k
+            for start, stop in k_spans[:-1]:
+                assert (stop - start) % 256 == 0
+
+    def test_pc_needs_k_and_kc(self):
+        with pytest.raises(ValueError):
+            partition_plane(100, 100, 4, CARMEL, 8, 12, pc_ways=2)
+
+    def test_defaulted_plane_ways_never_oversubscribe(self):
+        """pc multiplies the plane grid, so a defaulted jc/ic split
+        must factorize threads // pc_ways, not the full count."""
+        part = partition_plane(
+            2000, 2000, 4, CARMEL, 8, 12, pc_ways=2, k=2000, kc=512
+        )
+        assert part.active_threads <= 4
+        assert part.jc_ways * part.ic_ways * part.pc_ways <= 4
+
+    def test_candidate_grids_cap_pc_by_kc_chunks(self):
+        grids = candidate_grids(8, 2000, 2000, CARMEL, 8, 12, k=600, kc=512)
+        pcs = {pc for _, _, pc in grids}
+        assert pcs == {1, 2}  # only two kc chunks exist
+        assert all(jc * ic * pc <= 8 for jc, ic, pc in grids)
+
+    def test_deep_k_problem_chooses_pc_split(self, plan_builder):
+        """A tiny plane with a deep reduction can only scale along k —
+        and the pc grid must *strictly* beat every plane-only grid,
+        reduction cost included."""
+        shape = GemmShape(16, 24, 200000)
+        tiles = TileParams(mc=896, kc=512, nc=1788, mr=8, nr=12)
+        free = parallel_gemm_breakdown(
+            shape, tiles, 8, machine=CARMEL, plan_builder=plan_builder
+        )
+        pinned = parallel_gemm_breakdown(
+            shape, tiles, 8,
+            machine=CARMEL, plan_builder=plan_builder, pc_ways=1,
+        )
+        assert free.pc_ways > 1
+        assert free.reduction_cycles > 0.0
+        assert free.total_cycles < pinned.total_cycles
+
+    def test_square_problem_keeps_plane_partition(self, plan_builder):
+        """Ample plane parallelism: the reduction split buys nothing and
+        its extra C traffic must keep it out of the chosen grid."""
+        b = parallel_gemm_breakdown(
+            GemmShape(2000, 2000, 2000), TILES, 8,
+            machine=CARMEL, plan_builder=plan_builder,
+        )
+        assert b.pc_ways == 1
+        assert b.reduction_cycles == 0.0
+
+    def test_pc_scales_the_no_l3_edge_core(self, plan_builder):
+        """The no-shared-L3 machine may split jc and pc, never ic."""
+        machine = RVV_EDGE_VLEN128
+        b = parallel_gemm_breakdown(
+            GemmShape(16, 24, 100000), TILES, 4,
+            machine=machine, plan_builder=plan_builder,
+        )
+        assert b.ic_ways == 1
+        assert b.pc_ways > 1
+
+    def test_pinned_partition_pc_mismatch_rejected(self, plan_builder):
+        part = partition_plane(2000, 2000, 4, CARMEL, 8, 12,
+                               jc_ways=2, ic_ways=2)
+        with pytest.raises(ValueError):
+            parallel_gemm_breakdown(
+                GemmShape(2000, 2000, 2000), TILES, 4,
+                machine=CARMEL, plan_builder=plan_builder,
+                partition=part, pc_ways=2,
+            )
+
+
+# ---------------------------------------------------------------------------
+# scaling_curve dtype plumbing (regression: fp16 priced as fp32)
+# ---------------------------------------------------------------------------
+
+
+class TestScalingCurveDtype:
+    def test_dtype_bytes_forwarded(self, plan_builder):
+        """scaling_curve must price non-fp32 DRAM traffic; it used to
+        drop ``dtype_bytes`` on the floor and model fp32 always."""
+        shape = GemmShape(2000, 2000, 16)  # low intensity: DRAM-bound
+        fp32 = scaling_curve(
+            shape, TILES, machine=CARMEL, plan_builder=plan_builder,
+            max_threads=8,
+        )
+        fp16 = scaling_curve(
+            shape, TILES, machine=CARMEL, plan_builder=plan_builder,
+            max_threads=8, dtype_bytes=2,
+        )
+        for t, (wide, narrow) in enumerate(zip(fp32, fp16), start=1):
+            direct = parallel_gemm_breakdown(
+                shape, TILES, t,
+                machine=CARMEL, plan_builder=plan_builder, dtype_bytes=2,
+            )
+            assert narrow.dram_limit_cycles == direct.dram_limit_cycles
+            # half the bytes: strictly less stream time than fp32
+            assert narrow.dram_limit_cycles < wide.dram_limit_cycles
+
+
+# ---------------------------------------------------------------------------
+# NUMA / multi-socket topology
+# ---------------------------------------------------------------------------
+
+
+class TestNumaTopology:
+    def test_registry_has_a_multi_socket_machine(self):
+        assert MACHINES["numa2s"] is NUMA_SERVER_2S
+        assert NUMA_SERVER_2S.sockets == 2
+        assert NUMA_SERVER_2S.numa_nodes == 4
+        assert NUMA_SERVER_2S.cores_per_socket == 16
+        assert NUMA_SERVER_2S.cores_per_numa_node == 8
+        assert NUMA_SERVER_2S.nodes_per_socket == 2
+        # SNC-2: each node owns half its socket's bandwidth
+        assert NUMA_SERVER_2S.numa_node_bandwidth_bytes_per_cycle == 32.0
+
+    def test_every_single_socket_machine_is_unchanged(self):
+        for name, machine in MACHINES.items():
+            if name == "numa2s":
+                continue
+            assert machine.sockets == 1 and machine.numa_nodes == 1
+            assert machine.inter_socket_penalty == 1.0
+
+    def test_sockets_spanned_fills_in_order(self):
+        m = NUMA_SERVER_2S
+        assert m.sockets_spanned(1) == 1
+        assert m.sockets_spanned(16) == 1
+        assert m.sockets_spanned(17) == 2
+        assert m.sockets_spanned(32) == 2
+        assert m.node_of_core(0) == 0
+        assert m.node_of_core(15) == 1
+        assert m.node_of_core(16) == 2
+        assert m.socket_of_core(15) == 0
+        assert m.socket_of_core(16) == 1
+
+    def test_second_socket_raises_the_stream_ceiling(self):
+        m = NUMA_SERVER_2S
+        one_socket = m.stream_bandwidth(16)
+        assert one_socket == 64.0  # capped by socket 0's controllers
+        # one spilled thread adds one core's stream engines (12), not
+        # the whole second socket's controllers
+        assert m.stream_bandwidth(17) == 64.0 + 12.0
+        assert m.stream_bandwidth(18) == 64.0 + 2 * 12.0
+        # ... until the spilled cores saturate socket 1's controllers
+        assert m.stream_bandwidth(22) == 128.0
+        assert m.stream_bandwidth(32) == 128.0
+        # and a 1-socket machine keeps the pre-NUMA formula
+        assert MACHINES["avx512"].stream_bandwidth(16) == 64.0
+        assert MACHINES["avx512"].stream_bandwidth(32) == 64.0
+
+    def test_spanning_partition_pays_the_link(self, plan_builder):
+        """Crossing the socket boundary replicates the B panel over the
+        link: the DRAM bytes grow by penalty x k x n x dtype."""
+        shape = GemmShape(2000, 2000, 2000)
+        confined = parallel_gemm_breakdown(
+            shape, TILES, 16,
+            machine=NUMA_SERVER_2S, plan_builder=plan_builder,
+        )
+        spanning = parallel_gemm_breakdown(
+            shape, TILES, 32,
+            machine=NUMA_SERVER_2S, plan_builder=plan_builder,
+        )
+        bw16 = NUMA_SERVER_2S.stream_bandwidth(16)
+        bw32 = NUMA_SERVER_2S.stream_bandwidth(32)
+        extra = 1.4 * shape.k * shape.n * 4
+        assert confined.dram_limit_cycles * bw16 == pytest.approx(
+            spanning.dram_limit_cycles * bw32 - extra
+        )
+
+    def test_confined_ensemble_matches_the_single_socket_part(
+        self, plan_builder
+    ):
+        """<= 16 threads on the 2-socket server models exactly like the
+        1-socket AVX-512 server (same core, same per-socket memory)."""
+        shape = GemmShape(2000, 2000, 2000)
+        for t in (1, 8, 16):
+            two = parallel_gemm_breakdown(
+                shape, TILES, t,
+                machine=NUMA_SERVER_2S, plan_builder=plan_builder,
+            )
+            one = parallel_gemm_breakdown(
+                shape, TILES, t,
+                machine=MACHINES["avx512"], plan_builder=plan_builder,
+            )
+            assert two.total_cycles == one.total_cycles
+
+    def test_machine_model_validation(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError):
+            replace(CARMEL, sockets=0)
+        with pytest.raises(ValueError):
+            replace(CARMEL, sockets=2)  # numa_nodes=1 < sockets
+        with pytest.raises(ValueError):
+            replace(NUMA_SERVER_2S, numa_nodes=3)  # uneven over sockets
+        with pytest.raises(ValueError):
+            replace(NUMA_SERVER_2S, cores=30)  # uneven over nodes
+        with pytest.raises(ValueError):
+            replace(CARMEL, inter_socket_penalty=0.5)

@@ -21,6 +21,8 @@ from __future__ import annotations
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import tune
 from repro.eval.harness import (
@@ -40,6 +42,7 @@ from repro.serve import (
     load_trace,
     percentile,
     save_trace,
+    search_configurations,
     serving_metrics,
     simulate_serving,
     synthetic_trace,
@@ -90,6 +93,28 @@ class TestTraffic:
             synthetic_trace(0.0, 100.0)
         with pytest.raises(ValueError):
             synthetic_trace(10.0, -1.0)
+
+    def test_duplicate_request_id_rejected_with_row(self, tmp_path):
+        """Duplicate identities would corrupt per-request accounting
+        (two served records for one request); the load must name the
+        offending row instead."""
+        bad = tmp_path / "dup.csv"
+        bad.write_text(
+            "request_id,arrival_ms\n0,1.0\n1,2.0\n0,3.0\n"
+        )
+        with pytest.raises(ValueError) as err:
+            load_trace(bad)
+        assert "duplicate request_id 0" in str(err.value)
+        assert "line 4" in str(err.value)
+
+    def test_negative_arrival_rejected_with_row(self, tmp_path):
+        bad = tmp_path / "neg.csv"
+        bad.write_text("request_id,arrival_ms\n0,5.0\n1,-2.5\n")
+        with pytest.raises(ValueError) as err:
+            load_trace(bad)
+        assert "negative arrival_ms" in str(err.value)
+        assert "line 3" in str(err.value)
+        assert "request_id 1" in str(err.value)
 
 
 # ---------------------------------------------------------------------------
@@ -218,6 +243,73 @@ class TestBatcher:
         assert met["throughput_rps"] > 0
         assert met["mean_batch"] >= 1.0
 
+    def test_empty_result_metrics_error_is_actionable(self):
+        from repro.serve.batcher import ServingResult
+
+        with pytest.raises(ValueError) as err:
+            serving_metrics(ServingResult(served=(), batches=()))
+        assert "raise the arrival rate or duration" in str(err.value)
+
+
+class TestBatcherProperties:
+    """Hypothesis invariants of the discrete-event batcher: hold for
+    *every* trace/policy/replica-count combination, not just the
+    hand-picked scenarios above."""
+
+    @given(
+        gaps=st.lists(
+            st.floats(min_value=0.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=60,
+        ),
+        replicas=st.integers(min_value=1, max_value=4),
+        max_batch=st.integers(min_value=1, max_value=6),
+        max_wait=st.floats(min_value=0.0, max_value=10.0,
+                           allow_nan=False, allow_infinity=False),
+        service_base=st.floats(min_value=0.1, max_value=15.0,
+                               allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batcher_invariants(
+        self, gaps, replicas, max_batch, max_wait, service_base
+    ):
+        arrivals = []
+        t = 0.0
+        for gap in gaps:
+            t += gap
+            arrivals.append(t)
+        trace = tuple(
+            Request(request_id=i, arrival_ms=a)
+            for i, a in enumerate(arrivals)
+        )
+        policy = BatchPolicy(max_batch=max_batch, max_wait_ms=max_wait)
+
+        def service(b):
+            return service_base + 0.5 * b
+
+        result = simulate_serving(trace, replicas, policy, service)
+        # every request served exactly once
+        assert sorted(s.request.request_id for s in result.served) == list(
+            range(len(trace))
+        )
+        # causality per request: completion >= dispatch >= arrival
+        for s in result.served:
+            assert s.dispatch_ms >= s.request.arrival_ms
+            assert s.completion_ms >= s.dispatch_ms
+        # batches respect the cap and account for every request
+        assert all(1 <= b.size <= max_batch for b in result.batches)
+        assert sum(b.size for b in result.batches) == len(trace)
+        # a replica never runs two batches at once
+        by_replica: dict = {}
+        for b in result.batches:
+            by_replica.setdefault(b.replica, []).append(b)
+        for batches in by_replica.values():
+            batches.sort(key=lambda b: b.dispatch_ms)
+            for a, b in zip(batches, batches[1:]):
+                assert b.dispatch_ms >= a.dispatch_ms + a.service_ms
+        # deterministic under re-run
+        assert simulate_serving(trace, replicas, policy, service) == result
+
 
 # ---------------------------------------------------------------------------
 # Replica topology and placement
@@ -261,7 +353,6 @@ class TestPlacement:
         machine = MACHINES[machine_name]
         placements = enumerate_placements(machine)
         assert placements[0] == Placement(1, machine.cores)
-        assert len(placements) == machine.cores
         for placement in placements:
             blocks = placement.core_assignment()
             assert len(blocks) == placement.replicas
@@ -273,6 +364,119 @@ class TestPlacement:
                 len(block) == placement.threads_per_replica
                 for block in blocks
             )
+
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    def test_dominated_idle_core_placements_are_pruned(self, machine_name):
+        """On a flat-share machine only the max-replica placement of
+        each thread width survives: 5x1/6x1/7x1 on 8 cores can never
+        beat 8x1 under the even-bandwidth-share model, so the planner
+        must not simulate them.  On a NUMA machine a lower-replica
+        placement survives only when its worst-replica bandwidth share
+        strictly improves on the max-replica one's."""
+        machine = MACHINES[machine_name]
+        placements = enumerate_placements(machine)
+        if machine.numa_nodes > 1:
+            pairs = {(p.replicas, p.threads_per_replica)
+                     for p in placements}
+            # the worst node stays fully packed whether 7 or 8 width-4
+            # replicas run (and likewise 17..31 vs 32 singles), so the
+            # equal-share lower-R placements are dominated and pruned
+            assert (8, 4) in pairs and (7, 4) not in pairs
+            assert (32, 1) in pairs and (17, 1) not in pairs
+            assert (3, 10) in pairs  # max-R for width 10: kept
+            from repro.sim.parallel import replica_topology as rt
+
+            for p in placements:
+                r_max = machine.cores // p.threads_per_replica
+                if p.replicas != r_max:
+                    kept = rt(machine, p.replicas, p.threads_per_replica)
+                    best = rt(machine, r_max, p.threads_per_replica)
+                    assert (
+                        kept.socket_dram_bandwidth_bytes_per_cycle
+                        > best.socket_dram_bandwidth_bytes_per_cycle
+                    )
+            return
+        widths = [p.threads_per_replica for p in placements]
+        assert len(widths) == len(set(widths))  # one placement per T
+        for p in placements:
+            assert p.replicas == machine.cores // p.threads_per_replica
+        # the classic dominated trio is gone on an 8-core part
+        if machine.cores == 8:
+            pairs = {(p.replicas, p.threads_per_replica)
+                     for p in placements}
+            assert (8, 1) in pairs
+            for dominated in ((5, 1), (6, 1), (7, 1), (3, 2)):
+                assert dominated not in pairs
+
+    def test_numa_share_grows_when_node_contention_drops(self):
+        """Why the NUMA prune compares shares instead of assuming
+        domination: at width 10 on numa2s, 2 replicas are less
+        node-contended than 3, so the worst replica gets strictly more
+        bandwidth — fewer same-width replicas are not always slower."""
+        machine = MACHINES["numa2s"]
+        two = replica_topology(machine, 2, 10)
+        three = replica_topology(machine, 3, 10)
+        assert (
+            two.socket_dram_bandwidth_bytes_per_cycle
+            > three.socket_dram_bandwidth_bytes_per_cycle
+        )
+
+    def test_lone_partial_replica_on_numa_machine_is_node_scoped(self):
+        """--replicas 1 --threads 10 on numa2s: the block spans nodes
+        0-1 of socket 0 only, so the view is that local bandwidth, not
+        the whole machine's."""
+        machine = MACHINES["numa2s"]
+        view = replica_topology(machine, 1, 10)
+        assert view.cores == 10
+        assert view.sockets == 1 and view.numa_nodes == 1
+        node_bw = machine.numa_node_bandwidth_bytes_per_cycle
+        assert view.socket_dram_bandwidth_bytes_per_cycle == 2 * node_bw
+
+    def test_numa_replicas_pin_to_their_nodes(self):
+        """One replica per NUMA node: every stream stays local, so each
+        replica's share is the full node bandwidth — better than the
+        flat socket/replicas split the 1-node model would give."""
+        machine = MACHINES["numa2s"]
+        view = replica_topology(machine, 4, 8)
+        assert view.cores == 8
+        assert view.socket_dram_bandwidth_bytes_per_cycle == 32.0
+        assert view.sockets == 1 and view.numa_nodes == 1
+        nodes = Placement(4, 8).numa_assignment(machine)
+        assert nodes == ((0,), (1,), (2,), (3,))
+
+    def test_numa_replica_straddling_the_link_pays_the_penalty(self):
+        """2 replicas x 10 cores: replica 1's block crosses the socket
+        boundary, so its (worst-case) share is link-derated."""
+        machine = MACHINES["numa2s"]
+        nodes = Placement(2, 10).numa_assignment(machine)
+        assert nodes == ((0, 1), (1, 2))  # replica 1 spans both sockets
+        view = replica_topology(machine, 2, 10)
+        node_bw = machine.numa_node_bandwidth_bytes_per_cycle
+        # replica 1: half of shared node 1 plus all of node 2, derated
+        expected = (node_bw / 2 + node_bw) / machine.inter_socket_penalty
+        assert view.socket_dram_bandwidth_bytes_per_cycle == pytest.approx(
+            expected
+        )
+
+    def test_numa_split_by_socket_keeps_streams_local(self):
+        """2 replicas x 16 cores: one replica per socket, each keeping
+        its socket's full bandwidth — the NUMA model's whole point vs
+        the flat socket/2 split."""
+        machine = MACHINES["numa2s"]
+        view = replica_topology(machine, 2, 16)
+        assert view.socket_dram_bandwidth_bytes_per_cycle == 64.0
+
+    def test_whole_machine_replica_keeps_the_full_topology(self):
+        """The consolidation placement (1 replica, all cores) must see
+        the real 2-socket machine so its internal thread partition
+        models the socket spill exactly like eval --threads."""
+        machine = MACHINES["numa2s"]
+        view = replica_topology(machine, 1, machine.cores)
+        assert view.sockets == 2 and view.numa_nodes == 4
+        assert (
+            view.socket_dram_bandwidth_bytes_per_cycle
+            == machine.socket_dram_bandwidth_bytes_per_cycle
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -418,3 +622,53 @@ class TestEndToEnd:
         bad.write_text("request_id,arrival_ms\n0,not-a-number\n")
         assert serve_main(["--trace", str(bad)]) == 2
         capsys.readouterr()
+
+    def test_search_fails_fast_on_empty_trace(self):
+        """The planner must refuse an empty trace with an actionable
+        message, not crash deep inside the metrics aggregation."""
+        with pytest.raises(ValueError) as err:
+            search_configurations((), CARMEL, "vgg16", slo_p99_ms=50.0)
+        assert "trace is empty" in str(err.value)
+        assert "rate" in str(err.value)
+
+    def test_cli_fails_fast_on_empty_trace(self, tmp_path, capsys):
+        """A synthetic rate so low the first exponential draw overshoots
+        the duration legitimately yields zero arrivals — exit 2 with a
+        clear message, not a traceback."""
+        rc = serve_main(
+            [str(tmp_path), "--rate", "1e-9", "--duration", "1"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "trace is empty" in err
+        assert "--rate" in err
+
+    def test_cli_fails_fast_on_corrupt_csv(self, tmp_path, capsys):
+        dup = tmp_path / "dup.csv"
+        dup.write_text("request_id,arrival_ms\n0,1.0\n0,2.0\n")
+        assert serve_main(["--trace", str(dup)]) == 2
+        assert "duplicate request_id" in capsys.readouterr().err
+
+    def test_numa_machine_report_pins_replicas_to_nodes(self, tmp_path):
+        """A serving run on the 2-socket machine reports the NUMA
+        pinning of the chosen placement."""
+        args = [
+            str(tmp_path),
+            "--machine", "numa2s",
+            "--model", "vgg16",
+            "--rate", "40",
+            "--duration", "120",
+            "--slo-p99", "500ms",
+            "--replicas", "4",
+            "--threads", "8",
+            "--max-batch", "2",
+        ]
+        assert serve_main(args) == 0
+        report = json.loads(
+            (tmp_path / "serve_numa2s_vgg16.json").read_text()
+        )
+        cfg = report["config"]
+        assert cfg["sockets"] == 2
+        assert cfg["numa_nodes"] == 4
+        assert cfg["numa_assignment"] == [[0], [1], [2], [3]]
+        assert report["metrics"]["requests"] > 0
