@@ -45,6 +45,14 @@ def test_multicore_scaling_all_machines(benchmark):
         return curves
 
     curves = benchmark(run)
+    carmel_square = curves[("carmel", "square_2000")]
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=MACHINES["carmel"].cores,
+        metric="square2000_allcore_gflops",
+        value=carmel_square[-1].gflops,
+    )
     print("\n  machine    threads  square GF  partition")
     for name in SCALING_MACHINES:
         square = curves[(name, "square_2000")]

@@ -40,6 +40,13 @@ def test_serving_frontier(benchmark):
         return best, outcomes
 
     best, outcomes = benchmark(run)
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=8,
+        metric="best_throughput_rps",
+        value=best.metrics["throughput_rps"],
+    )
     print("\n  config     rps    p99 ms  mean batch")
     for o in outcomes:
         print(
@@ -67,6 +74,13 @@ def test_batch_cost_sublinear(benchmark):
         return {b: executor.batch_time_ms(b) for b in (1, 2, 4, 8)}
 
     times = benchmark(run)
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=8,
+        metric="batch8_ms_per_request",
+        value=times[8] / 8,
+    )
     # the shared packed B panel amortizes across the batch: cost per
     # request falls monotonically with the batch size
     per_request = [times[b] / b for b in (1, 2, 4, 8)]
@@ -93,4 +107,11 @@ def test_unloaded_latency_prefers_consolidation(benchmark):
 
     outcomes = benchmark(run)
     p50 = {label: o.metrics["p50_ms"] for label, o in outcomes.items()}
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=8,
+        metric="unloaded_p50_ms",
+        value=p50["1rx8t"],
+    )
     assert p50["1rx8t"] < p50["2rx4t"] < p50["8rx1t"]

@@ -32,6 +32,13 @@ def test_analytical_modeling_is_enough(benchmark, ctx):
         return tuned, closed
 
     tuned, closed = benchmark(run)
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=1,
+        metric="closed_form_gflops",
+        value=closed.gflops,
+    )
     print(
         f"\n  grid search : {tuned.gflops:6.2f} GFLOPS over "
         f"{tuned.evaluated} candidates "
@@ -53,6 +60,7 @@ def test_tune_artifact_replaces_inline_ranking(benchmark, tmp_path):
     tune.reset_breakdown_calls()
 
     warm = benchmark(lambda: tune.sweep(("neon",), problems, cache=cache))
+    benchmark.extra_info.update(machine="carmel", isa="neon", threads=1)
 
     # the warm sweep is pure artifact consumption: no timing model runs
     assert tune.breakdown_calls() == 0

@@ -6,9 +6,22 @@ data series; shape assertions inside each benchmark guarantee the regenerated
 figure tells the paper's story (who wins, by roughly what factor).
 
 Run:  pytest benchmarks/ --benchmark-only
+
+Every benchmark run additionally writes one machine-readable
+``BENCH_<name>.json`` per bench module (default ``out/bench/``,
+override with ``BENCH_JSON_DIR``): a list of records with ``machine``,
+``isa``, ``threads``, ``metric``, ``value`` — the perf trajectory the
+CI bench job archives.  Benchmarks tag their records through
+``benchmark.extra_info`` (same keys); untagged records default to the
+paper's serial Carmel/Neon configuration, and ``value`` defaults to the
+benchmark's min wall seconds.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import pytest
 
@@ -50,3 +63,51 @@ def ctx() -> EvalContext:
     # warm the kernel registry and timing caches once
     context.registry.family()
     return context
+
+
+def bench_record(bench) -> dict:
+    """One BENCH_*.json record from a pytest-benchmark result object."""
+    extra = dict(getattr(bench, "extra_info", None) or {})
+    value = extra.get("value")
+    metric = extra.get("metric", "min_seconds")
+    if value is None:
+        stats = getattr(bench, "stats", None)
+        stats = getattr(stats, "stats", stats)  # Metadata wraps Stats
+        value = getattr(stats, "min", None)
+        metric = "min_seconds"
+    return {
+        "name": getattr(bench, "name", "?"),
+        "machine": str(extra.get("machine", "carmel")),
+        "isa": str(extra.get("isa", "neon")),
+        "threads": int(extra.get("threads", 1)),
+        "metric": str(metric),
+        "value": value,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_<name>.json per bench module from this run's results."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benches = getattr(bench_session, "benchmarks", None)
+    if not benches:
+        return
+    outdir = Path(os.environ.get("BENCH_JSON_DIR", "out/bench"))
+    by_module: dict = {}
+    for bench in benches:
+        modpath = (getattr(bench, "fullname", "") or "?").split("::", 1)[0]
+        module = Path(modpath).stem
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        record = bench_record(bench)
+        if record["value"] is None:
+            continue
+        by_module.setdefault(name, []).append(record)
+    if not by_module:
+        return
+    outdir.mkdir(parents=True, exist_ok=True)
+    for name, records in sorted(by_module.items()):
+        records.sort(key=lambda r: r["name"])
+        path = outdir / f"BENCH_{name}.json"
+        path.write_text(
+            json.dumps(records, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"bench results: wrote {path}")

@@ -21,14 +21,22 @@ end-to-end sweeps (see ``docs/parallel.md``).
 DNN layer's kernel through the tuned winners (the same per-layer path
 ``python -m repro.serve`` prices batched requests with); figures 15/17
 gain an ``exo_kernel`` column recording the choice.
+
+``--trace PATH`` / ``--metrics PATH`` activate the observability layer
+(:mod:`repro.obs`): one wall-clock span per figure phase, one Chrome
+trace event per modelled GEMM (partition label, pc ways, cycle
+components), and counters/histograms of the timing-model traffic.
 """
 
 from __future__ import annotations
 
 import sys
 import time
+from contextlib import nullcontext
 from pathlib import Path
 
+from repro import obs as obslib
+from repro.obs import profile as obs_profile
 from repro.workloads.resnet50 import RESNET50_LAYERS
 from repro.workloads.vgg16 import VGG16_LAYERS
 
@@ -52,15 +60,25 @@ from .report import render_table, winners
 
 CONFIGS = ["ALG+NEON", "ALG+BLIS", "BLIS", "ALG+EXO"]
 
+log = obslib.get_logger("eval")
+
 
 def _write(outdir: Path, name: str, text: str) -> None:
     path = outdir / name
     path.write_text(text + "\n")
-    print(f"  wrote {path}")
+    log.info(f"  wrote {path}")
+
+
+def _span(obs, name: str):
+    """A wall-clock span for one figure phase, or a no-op when off."""
+    if obs is not None and obs.tracer.enabled:
+        return obs.tracer.span(name, cat="eval")
+    return nullcontext()
 
 
 def run_threaded_eval(
-    ctx, isa: str, threads: int, outdir: Path, use_tuned: bool = False
+    ctx, isa: str, threads: int, outdir: Path, use_tuned: bool = False,
+    obs=None,
 ) -> list:
     """The multi-core figures: thread scaling + threaded DNN sweeps.
 
@@ -69,8 +87,9 @@ def run_threaded_eval(
     from repro.workloads.resnet50 import resnet50_instances
     from repro.workloads.vgg16 import vgg16_instances
 
-    print(f"Thread scaling (1..{threads} threads)...")
-    rows = thread_scaling_data(ctx, max_threads=threads)
+    log.info(f"Thread scaling (1..{threads} threads)...")
+    with _span(obs, "thread_scaling"):
+        rows = thread_scaling_data(ctx, max_threads=threads)
     text = render_table(
         rows, title=f"Thread scaling — {ctx.machine.name}"
     )
@@ -85,15 +104,16 @@ def run_threaded_eval(
     ]
 
     counts = thread_counts_up_to(threads)
-    print("Threaded ResNet50 / VGG16 end-to-end sweeps...")
+    log.info("Threaded ResNet50 / VGG16 end-to-end sweeps...")
     workloads = (
         ("resnet50", resnet50_instances()),
         ("vgg16", vgg16_instances()),
     )
     for name, instances in workloads:
-        wrows = threaded_instance_time_data(
-            instances, ctx, counts, use_tuned=use_tuned
-        )
+        with _span(obs, f"threads_{name}"):
+            wrows = threaded_instance_time_data(
+                instances, ctx, counts, use_tuned=use_tuned
+            )
         final = wrows[-1]
         _write(
             outdir, f"threads_{isa}_{name}_time.txt",
@@ -112,7 +132,8 @@ def run_threaded_eval(
 
 
 def run_isa_eval(
-    isa: str, outdir: Path, threads: int = 1, use_tuned: bool = False
+    isa: str, outdir: Path, threads: int = 1, use_tuned: bool = False,
+    obs=None,
 ) -> int:
     """The retargeted evaluation for one non-default backend."""
     from repro import tune
@@ -123,8 +144,9 @@ def run_isa_eval(
     summary = [f"ISA {isa} on {t.machine.name} "
                f"(peak {t.machine.peak_gflops():.1f} GFLOPS)"]
 
-    print(f"Solo sweep ({isa} generated family)...")
-    rows = solo_sweep_data(ctx)
+    log.info(f"Solo sweep ({isa} generated family)...")
+    with _span(obs, f"solo_{isa}"):
+        rows = solo_sweep_data(ctx)
     text = render_table(
         rows, title=f"Solo-mode GFLOPS — {t.machine.name}"
     )
@@ -136,9 +158,10 @@ def run_isa_eval(
         f"({100 * best['peak_frac']:.0f}% of peak)"
     )
 
-    print("Square GEMM sweep via repro.tune (cached kernel selection)...")
+    log.info("Square GEMM sweep via repro.tune (cached kernel selection)...")
     cache = tune.TuneCache(tune.default_cache_root())
-    artifact = tune.sweep((isa,), tune.DEFAULT_SQUARES, cache=cache)
+    with _span(obs, f"square_{isa}"):
+        artifact = tune.sweep((isa,), tune.DEFAULT_SQUARES, cache=cache)
     sq_rows = []
     for m, n, k in tune.DEFAULT_SQUARES:
         (mr, nr), entry = tune.best_kernel(artifact, isa, m, n, k)
@@ -152,8 +175,8 @@ def run_isa_eval(
         ),
     )
     tune.save_artifact(artifact, outdir / f"tune_{isa}.json")
-    print(f"  tune cache: {cache.hits} hits, {cache.misses} misses "
-          f"({cache.root})")
+    log.info(f"  tune cache: {cache.hits} hits, {cache.misses} misses "
+             f"({cache.root})")
     summary.append(
         f"square: {sq_rows[-1]['GFLOPS']:.1f} GFLOPS at 2048 "
         f"with kernel {sq_rows[-1]['kernel']}"
@@ -162,14 +185,15 @@ def run_isa_eval(
     if threads > 1:
         summary.extend(
             run_threaded_eval(
-                ctx, isa, threads, outdir, use_tuned=use_tuned
+                ctx, isa, threads, outdir, use_tuned=use_tuned, obs=obs
             )
         )
 
-    print("Cross-ISA portability table...")
-    port = portability_solo_data(
-        tuple(dict.fromkeys(("neon", "rvv128", "rvv256", isa)))
-    )
+    log.info("Cross-ISA portability table...")
+    with _span(obs, "portability"):
+        port = portability_solo_data(
+            tuple(dict.fromkeys(("neon", "rvv128", "rvv256", isa)))
+        )
     _write(
         outdir, "portability.txt",
         render_table(port, title="Generated main kernel, fraction of peak"),
@@ -181,20 +205,25 @@ def run_isa_eval(
     )
 
     _write(outdir, f"SUMMARY_{isa}.txt", "\n".join(summary))
-    print("\n".join(summary))
+    log.info("\n".join(summary))
     return 0
 
 
 USAGE = """\
 usage: python -m repro.eval [outdir] [--isa NAME] [--threads N]
                             [--use-tuned] [--tune-cache PATH]
+                            [--trace PATH] [--metrics PATH]
+                            [--quiet | -v]
 
 Regenerate the paper's evaluation figures into outdir (default
 results/).  --isa retargets to a registered backend (rvv128, rvv256,
 avx512, numa2s); --threads N adds the multi-core figures; --use-tuned activates
 the persistent tune cache so the ResNet-50/VGG16 per-layer sweeps
 dispatch each layer's kernel through the tuned winners (--tune-cache
-overrides the cache root, default out/tunecache)."""
+overrides the cache root, default out/tunecache).  --trace writes a
+Chrome trace-event JSON (figure-phase spans + one event per modelled
+GEMM); --metrics writes the metrics registry as JSON (+ .prom);
+--quiet/-q silences progress output, -v/--verbose adds debug lines."""
 
 
 def _pop_flag(argv: list, name: str) -> bool:
@@ -204,6 +233,14 @@ def _pop_flag(argv: list, name: str) -> bool:
         argv.remove(flag)
         return True
     return False
+
+
+def _pop_short(argv: list, flag: str) -> int:
+    """Extract every occurrence of a literal flag; returns the count."""
+    count = argv.count(flag)
+    for _ in range(count):
+        argv.remove(flag)
+    return count
 
 
 def _pop_option(argv: list, name: str):
@@ -232,18 +269,26 @@ def main(argv=None) -> int:
         print(USAGE)
         return 0
     use_tuned = _pop_flag(argv, "use-tuned")
+    quiet = _pop_flag(argv, "quiet") or _pop_short(argv, "-q")
+    verbose = _pop_short(argv, "-v") + _pop_short(argv, "--verbose")
+    obslib.configure(
+        obslib.log.QUIET if quiet
+        else (obslib.log.DEBUG if verbose else obslib.log.INFO)
+    )
     try:
         isa = _pop_option(argv, "isa")
         threads_spec = _pop_option(argv, "threads")
         tune_cache = _pop_option(argv, "tune-cache")
+        trace_path = _pop_option(argv, "trace")
+        metrics_path = _pop_option(argv, "metrics")
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
+        log.error(str(exc))
         return 2
     if tune_cache is not None and not use_tuned:
-        print("--tune-cache requires --use-tuned", file=sys.stderr)
+        log.error("--tune-cache requires --use-tuned")
         return 2
     if isa is not None and not isa.strip():
-        print("--isa requires an argument", file=sys.stderr)
+        log.error("--isa requires an argument")
         return 2
     isa = (isa or "neon").lower()
     threads = 1
@@ -253,27 +298,25 @@ def main(argv=None) -> int:
             if threads < 1:
                 raise ValueError
         except ValueError:
-            print(
-                f"--threads wants a positive integer, got {threads_spec!r}",
-                file=sys.stderr,
+            log.error(
+                f"--threads wants a positive integer, got {threads_spec!r}"
             )
             return 2
     if isa != "neon":
         from repro.isa.targets import ISA_TARGETS
 
         if isa not in ISA_TARGETS:
-            print(
-                f"unknown ISA {isa!r}; registered: {sorted(ISA_TARGETS)}",
-                file=sys.stderr,
+            log.error(
+                f"unknown ISA {isa!r}; registered: {sorted(ISA_TARGETS)}"
             )
             return 2
     stray = [arg for arg in argv if arg.startswith("--")]
     if stray:
-        print(
+        log.error(
             f"unknown option(s): {', '.join(stray)} "
             "(supported: --isa NAME, --threads N, --use-tuned, "
-            "--tune-cache PATH)",
-            file=sys.stderr,
+            "--tune-cache PATH, --trace PATH, --metrics PATH, "
+            "--quiet, -v)"
         )
         return 2
     if use_tuned:
@@ -282,19 +325,38 @@ def main(argv=None) -> int:
         cache = tune.activate(
             tune.TuneCache(tune_cache or tune.default_cache_root())
         )
-        print(f"per-layer dispatch: tuned (cache {cache.root})")
+        log.info(f"per-layer dispatch: tuned (cache {cache.root})")
     outdir = Path(argv[0]) if argv else Path("results")
     outdir.mkdir(parents=True, exist_ok=True)
+
+    obs = obslib.obs_from_cli(trace_path, metrics_path)
+    if obs is None:
+        return _run(isa, outdir, threads, use_tuned, None)
+    profiler = obslib.GemmProfiler(tracer=obs.tracer, metrics=obs.metrics)
+    with obs_profile.using(profiler):
+        rc = _run(isa, outdir, threads, use_tuned, obs)
+    obs.metrics.counter(
+        "eval.gemm_profile_records",
+        help="modelled GEMMs captured by the profiler",
+    ).inc(len(profiler.records))
+    for path in obs.write_outputs():
+        log.info(f"wrote {path}")
+    return rc
+
+
+def _run(isa: str, outdir: Path, threads: int, use_tuned: bool, obs) -> int:
+    """The evaluation proper, after flag parsing and obs setup."""
     if isa != "neon":
         return run_isa_eval(
-            isa, outdir, threads=threads, use_tuned=use_tuned
+            isa, outdir, threads=threads, use_tuned=use_tuned, obs=obs
         )
     ctx = default_context()
     t0 = time.time()
     summary = []
 
-    print("Figure 13 (solo-mode micro-kernels)...")
-    rows = fig13_solo_data(ctx=ctx)
+    log.info("Figure 13 (solo-mode micro-kernels)...")
+    with _span(obs, "fig13_solo"):
+        rows = fig13_solo_data(ctx=ctx)
     text = render_table(rows, title="Figure 13 — solo-mode GFLOPS")
     text += "\n\n" + bar_chart(
         rows, x="shape", series=["NEON", "BLIS", "EXO"], unit=" GF"
@@ -306,8 +368,9 @@ def main(argv=None) -> int:
         f"edge cases (4x4 by {rows[1]['EXO'] / rows[1]['BLIS']:.1f}x)"
     )
 
-    print("Figure 14 (square GEMM sweep)...")
-    rows = fig14_square_data(ctx=ctx)
+    log.info("Figure 14 (square GEMM sweep)...")
+    with _span(obs, "fig14_square"):
+        rows = fig14_square_data(ctx=ctx)
     text = render_table(
         rows, columns=["size", *CONFIGS, "exo_kernel"],
         title="Figure 14 — square GEMM GFLOPS",
@@ -318,7 +381,7 @@ def main(argv=None) -> int:
         f"({rows[-1]['BLIS']:.1f} GF at 5000); ALG+EXO leads the ALG+ group"
     )
 
-    print("Tables I and II (IM2ROW dimensions)...")
+    log.info("Tables I and II (IM2ROW dimensions)...")
     table1 = [
         {"layer": lyr.layer_id, "instances": lyr.instances, "m": lyr.m,
          "n": lyr.n, "k": lyr.k} for lyr in RESNET50_LAYERS
@@ -337,8 +400,9 @@ def main(argv=None) -> int:
     if use_tuned:
         layer_cols.append("exo_kernel")
 
-    print("Figure 15 (ResNet50 per-layer GFLOPS)...")
-    rows = fig15_resnet_layer_data(ctx=ctx, use_tuned=use_tuned)
+    log.info("Figure 15 (ResNet50 per-layer GFLOPS)...")
+    with _span(obs, "fig15_resnet_layers"):
+        rows = fig15_resnet_layer_data(ctx=ctx, use_tuned=use_tuned)
     text = render_table(
         rows, columns=layer_cols,
         title="Figure 15 — ResNet50 v1.5 per-layer GFLOPS",
@@ -351,8 +415,9 @@ def main(argv=None) -> int:
         f"(paper: 9/20), BLIS on {wins.count('BLIS')} (paper: 6)"
     )
 
-    print("Figure 16 (ResNet50 aggregated time)...")
-    rows = fig16_resnet_time_data(ctx=ctx, use_tuned=use_tuned)
+    log.info("Figure 16 (ResNet50 aggregated time)...")
+    with _span(obs, "fig16_resnet_time"):
+        rows = fig16_resnet_time_data(ctx=ctx, use_tuned=use_tuned)
     final = rows[-1]
     text = render_table(
         rows, columns=["layer_number", *CONFIGS],
@@ -365,8 +430,9 @@ def main(argv=None) -> int:
         + f" ({final[order[0]]:.4f}s best)"
     )
 
-    print("Figure 17 (VGG16 per-layer GFLOPS)...")
-    rows = fig17_vgg_layer_data(ctx=ctx, use_tuned=use_tuned)
+    log.info("Figure 17 (VGG16 per-layer GFLOPS)...")
+    with _span(obs, "fig17_vgg_layers"):
+        rows = fig17_vgg_layer_data(ctx=ctx, use_tuned=use_tuned)
     text = render_table(
         rows, columns=layer_cols,
         title="Figure 17 — VGG16 per-layer GFLOPS",
@@ -379,8 +445,9 @@ def main(argv=None) -> int:
         f"BLIS on {wins.count('BLIS')}"
     )
 
-    print("Figure 18 (VGG16 aggregated time)...")
-    rows = fig18_vgg_time_data(ctx=ctx, use_tuned=use_tuned)
+    log.info("Figure 18 (VGG16 aggregated time)...")
+    with _span(obs, "fig18_vgg_time"):
+        rows = fig18_vgg_time_data(ctx=ctx, use_tuned=use_tuned)
     final = rows[-1]
     text = render_table(
         rows, columns=["layer_number", *CONFIGS],
@@ -395,7 +462,7 @@ def main(argv=None) -> int:
     if threads > 1:
         summary.extend(
             run_threaded_eval(
-                ctx, "neon", threads, outdir, use_tuned=use_tuned
+                ctx, "neon", threads, outdir, use_tuned=use_tuned, obs=obs
             )
         )
     if use_tuned:
@@ -406,7 +473,7 @@ def main(argv=None) -> int:
     elapsed = time.time() - t0
     summary.append(f"\nregenerated in {elapsed:.1f}s (modelled Carmel core)")
     _write(outdir, "SUMMARY.txt", "\n".join(summary))
-    print("\n".join(summary))
+    log.info("\n".join(summary))
     return 0
 
 

@@ -1,0 +1,125 @@
+"""Observability: structured tracing, metrics, logging, profiling.
+
+Dependency-free (stdlib only) and disabled by default — the rest of the
+stack either receives an :class:`Obs` bundle (``None`` means off) or
+consults the no-op defaults, so instrumentation changes nothing unless
+a CLI is invoked with ``--trace``/``--metrics``.
+
+* :mod:`repro.obs.trace` — span/event tracer with a pluggable clock
+  (wall for tune/eval, **virtual sim time** for the serve
+  discrete-event loop) exporting Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``) and a JSONL event log.
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  with nearest-rank percentiles; deterministic JSON and Prometheus-text
+  exporters.
+* :mod:`repro.obs.log` — the structured stdout/stderr logger behind
+  every CLI's ``--quiet``/``-v`` flags.
+* :mod:`repro.obs.profile` — per-GEMM profile hooks the timing model
+  reports into when a profiler is active.
+
+See ``docs/observability.md`` for the API contract and a Perfetto
+how-to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from .clock import VirtualClock, WallClock
+from .log import Logger, add_logging_args, configure, configure_from_args
+from .log import get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    nearest_rank_percentile,
+    prom_path_for,
+)
+from .profile import GemmProfiler
+from .trace import (
+    NullTracer,
+    Tracer,
+    jsonl_path_for,
+    validate_trace_events,
+    validate_trace_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "GemmProfiler",
+    "Histogram",
+    "Logger",
+    "MetricsRegistry",
+    "NullTracer",
+    "Obs",
+    "Tracer",
+    "VirtualClock",
+    "WallClock",
+    "add_logging_args",
+    "configure",
+    "configure_from_args",
+    "get_logger",
+    "jsonl_path_for",
+    "nearest_rank_percentile",
+    "obs_from_cli",
+    "prom_path_for",
+    "validate_trace_events",
+    "validate_trace_file",
+]
+
+
+@dataclass
+class Obs:
+    """One tracer + one metrics registry, passed together.
+
+    Instrumented call sites take ``obs: Optional[Obs] = None`` and
+    guard with ``if obs is not None`` — the disabled path is one
+    comparison, no object construction.
+    """
+
+    tracer: Tracer = field(default_factory=NullTracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    trace_path: Optional[Path] = None
+    metrics_path: Optional[Path] = None
+
+    def write_outputs(self) -> list:
+        """Write every requested artifact; returns the paths written."""
+        written = []
+        if self.trace_path is not None:
+            written.append(self.tracer.write_chrome(self.trace_path))
+            written.append(
+                self.tracer.write_jsonl(jsonl_path_for(self.trace_path))
+            )
+        if self.metrics_path is not None:
+            written.append(self.metrics.write_json(self.metrics_path))
+            written.append(
+                self.metrics.write_prometheus(
+                    prom_path_for(self.metrics_path)
+                )
+            )
+        return written
+
+
+def obs_from_cli(
+    trace: Optional[Union[str, Path]],
+    metrics: Optional[Union[str, Path]],
+    virtual_time: bool = False,
+) -> Optional[Obs]:
+    """Build the CLI's Obs bundle, or ``None`` when both flags are off.
+
+    ``virtual_time`` selects the simulated-time clock contract (the
+    serve CLI); wall-clock tracing is the default for tune/eval.
+    """
+    if trace is None and metrics is None:
+        return None
+    clock = VirtualClock() if virtual_time else WallClock()
+    return Obs(
+        tracer=Tracer(clock=clock),
+        metrics=MetricsRegistry(),
+        trace_path=Path(trace) if trace is not None else None,
+        metrics_path=Path(metrics) if metrics is not None else None,
+    )

@@ -1,0 +1,48 @@
+"""Pluggable clocks for the tracer.
+
+Two time bases cover every subsystem:
+
+* :class:`WallClock` — monotonic wall time for tune/eval, where spans
+  measure real work (model evaluations, pool chunks, figure phases).
+* :class:`VirtualClock` — manually-advanced *simulated* time for the
+  serve discrete-event loop, so trace timestamps are a pure function of
+  (trace, config) and two runs produce byte-identical trace files.
+
+Both report microseconds, the native unit of the Chrome trace-event
+format.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClock:
+    """Monotonic wall time in microseconds since construction."""
+
+    def __init__(self):
+        self._t0 = time.perf_counter()
+
+    def now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+
+class VirtualClock:
+    """Simulated time, advanced explicitly by the event loop.
+
+    ``advance_to_us`` never moves backwards, so out-of-order event
+    emission (a replica completing after a later arrival was processed)
+    cannot rewind the clock; callers that know the exact event time
+    pass it explicitly to the tracer instead of reading the clock.
+    """
+
+    def __init__(self, start_us: float = 0.0):
+        self._now_us = start_us
+
+    def now_us(self) -> float:
+        return self._now_us
+
+    def advance_to_us(self, ts_us: float) -> float:
+        if ts_us > self._now_us:
+            self._now_us = ts_us
+        return self._now_us

@@ -1,0 +1,101 @@
+"""The structured logger behind every CLI's progress output.
+
+One process-wide verbosity knob (set from ``--quiet``/``-v``) gates
+three stdout levels — ``debug`` (-v), ``info`` (default), and nothing
+(--quiet) — while ``warning``/``error`` always reach stderr, so quiet
+runs keep their diagnostics and exit-code behaviour.  Messages carry
+optional ``key=value`` fields appended in call order::
+
+    log = get_logger("serve")
+    log.info("wrote report", path=out)   # -> "wrote report path=out"
+
+:func:`add_logging_args` / :func:`configure_from_args` wire the flags
+into an ``argparse`` parser; the eval CLI's hand-rolled parser calls
+:func:`configure` directly.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+QUIET = -1
+INFO = 0
+DEBUG = 1
+
+_verbosity = INFO
+_loggers: Dict[str, "Logger"] = {}
+
+
+def configure(verbosity: int) -> int:
+    """Set the process-wide verbosity; returns the previous value."""
+    global _verbosity
+    previous = _verbosity
+    _verbosity = verbosity
+    return previous
+
+
+def verbosity() -> int:
+    return _verbosity
+
+
+def _render(message: str, fields: dict) -> str:
+    if not fields:
+        return message
+    tail = " ".join(f"{key}={value}" for key, value in fields.items())
+    return f"{message} {tail}"
+
+
+class Logger:
+    """A named logger; the name prefixes debug lines only."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+
+    def debug(self, message: str, **fields) -> None:
+        if _verbosity >= DEBUG:
+            prefix = f"[{self.name}] " if self.name else ""
+            print(prefix + _render(message, fields))
+
+    def info(self, message: str, **fields) -> None:
+        if _verbosity >= INFO:
+            print(_render(message, fields))
+
+    def warning(self, message: str, **fields) -> None:
+        print(_render(message, fields), file=sys.stderr)
+
+    def error(self, message: str, **fields) -> None:
+        print(_render(message, fields), file=sys.stderr)
+
+
+def get_logger(name: str = "") -> Logger:
+    if name not in _loggers:
+        _loggers[name] = Logger(name)
+    return _loggers[name]
+
+
+def add_logging_args(parser) -> None:
+    """Attach ``--quiet/-q`` and ``--verbose/-v`` to an argparse parser."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress progress output (errors still reach stderr)",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="enable debug output",
+    )
+
+
+def configure_from_args(args) -> int:
+    """Apply parsed ``--quiet``/``-v`` flags; returns the new verbosity."""
+    level = QUIET if getattr(args, "quiet", False) else getattr(
+        args, "verbose", 0
+    )
+    configure(level)
+    return level

@@ -1,0 +1,254 @@
+"""Counters, gauges, and fixed-bucket histograms with two exporters.
+
+A :class:`MetricsRegistry` hands out named instruments and serializes
+them deterministically: ``to_json()`` (sorted keys, suitable for
+byte-comparison in tests and CI) and ``prometheus_text()`` (the
+Prometheus exposition format, so a scrape endpoint or a file sink can
+reuse the same registry unchanged).
+
+Histograms keep both fixed bucket counts (for the Prometheus
+``_bucket`` series) and the raw observations, so percentiles use the
+exact nearest-rank definition of :func:`repro.serve.report.percentile`
+— every reported quantile is an actual observed value, no
+interpolation — and the two report paths can never disagree.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+#: default histogram bucket upper bounds (units are the caller's)
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1000.0,
+)
+
+
+def nearest_rank_percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile — same semantics as ``serve.report``."""
+    if not values:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down; tracks its observed maximum."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value: float = 0
+        self.max: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1) -> None:
+        self.set(self.value - amount)
+
+    def snapshot(self) -> dict:
+        return {"type": self.kind, "value": self.value, "max": self.max}
+
+
+class Histogram:
+    """Fixed buckets plus retained observations for exact percentiles."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ):
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError(
+                f"histogram {name} needs strictly increasing buckets"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        self._values.append(value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def percentile(self, q: float) -> float:
+        return nearest_rank_percentile(self._values, q)
+
+    def snapshot(self) -> dict:
+        snap = {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                str(bound): count
+                for bound, count in zip(self.buckets, self.bucket_counts)
+            },
+            "overflow": self.bucket_counts[-1],
+        }
+        if self.count:
+            snap.update(
+                min=min(self._values),
+                max=max(self._values),
+                p50=self.percentile(50),
+                p95=self.percentile(95),
+                p99=self.percentile(99),
+            )
+        return snap
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, exported sorted."""
+
+    def __init__(self):
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get(self, name: str, kind, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a "
+                f"{kind.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, buckets=buckets, help=help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {metric.kind}")
+        return metric
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def to_json(self) -> Dict[str, dict]:
+        return {
+            name: metric.snapshot()
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def write_json(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_json(), indent=1, sort_keys=True) + "\n"
+        )
+        return path
+
+    def prometheus_text(self) -> str:
+        """The Prometheus exposition format, one block per metric."""
+        lines: List[str] = []
+        for name, metric in sorted(self._metrics.items()):
+            prom = _prom_name(name)
+            if metric.help:
+                lines.append(f"# HELP {prom} {metric.help}")
+            lines.append(f"# TYPE {prom} {metric.kind}")
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.bucket_counts):
+                    cumulative += count
+                    lines.append(
+                        f'{prom}_bucket{{le="{bound:g}"}} {cumulative}'
+                    )
+                lines.append(f'{prom}_bucket{{le="+Inf"}} {metric.count}')
+                lines.append(f"{prom}_sum {metric.sum:g}")
+                lines.append(f"{prom}_count {metric.count}")
+            else:
+                lines.append(f"{prom} {metric.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.prometheus_text())
+        return path
+
+
+def _prom_name(name: str) -> str:
+    """Dots and dashes become underscores for Prometheus identifiers."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def prom_path_for(metrics_path: Union[str, Path]) -> Path:
+    """``out.metrics.json`` -> ``out.metrics.prom`` (text-format sibling)."""
+    path = Path(metrics_path)
+    if path.suffix == ".json":
+        return path.with_suffix(".prom")
+    return Path(str(path) + ".prom")

@@ -1,0 +1,153 @@
+"""Per-GEMM profile hooks for the timing model.
+
+The eval/tune hot path — one modelled GEMM breakdown per call into
+:func:`repro.sim.timing.gemm_time_model` or
+:func:`repro.sim.parallel.parallel_gemm_breakdown` — reports into the
+process-wide active :class:`GemmProfiler` when one is installed.  The
+disabled path costs a single module-global ``is None`` check, so
+profiling is free when off (the no-op default).
+
+Each record captures the problem (m, n, k, threads), the partition the
+threaded model chose (label and pc_ways), and the cycle components; the
+profiler mirrors every record into its tracer (one complete span per
+evaluation, wall-clock duration of the model evaluation itself) and
+its metrics registry (evaluation counters plus an evaluation-latency
+histogram), when either is attached.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import List, Optional
+
+#: the process-wide profiler consulted by the timing model; ``None``
+#: means profiling is off and instrumented sites fall through instantly
+ACTIVE: Optional["GemmProfiler"] = None
+
+
+def active() -> Optional["GemmProfiler"]:
+    return ACTIVE
+
+
+def activate(profiler: "GemmProfiler") -> "GemmProfiler":
+    global ACTIVE
+    ACTIVE = profiler
+    return profiler
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def using(profiler: "GemmProfiler"):
+    """Install a profiler for the duration of a ``with`` block."""
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        ACTIVE = previous
+
+
+#: histogram buckets for model-evaluation wall time (microseconds)
+EVAL_US_BUCKETS = (
+    10.0,
+    50.0,
+    100.0,
+    500.0,
+    1000.0,
+    5000.0,
+    10000.0,
+    50000.0,
+    100000.0,
+    500000.0,
+)
+
+
+class GemmProfiler:
+    """Collects one record per modelled GEMM evaluation."""
+
+    def __init__(self, tracer=None, metrics=None):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.records: List[dict] = []
+
+    def start(self) -> float:
+        """Wall-clock anchor taken before the evaluation runs."""
+        return time.perf_counter()
+
+    def record(
+        self,
+        kind: str,
+        m: int,
+        n: int,
+        k: int,
+        threads: int,
+        partition: str,
+        pc_ways: int,
+        breakdown,
+        started: Optional[float] = None,
+    ) -> dict:
+        """Log one evaluation; ``breakdown`` supplies cycle components."""
+        elapsed_us = (
+            (time.perf_counter() - started) * 1e6
+            if started is not None
+            else 0.0
+        )
+        entry = {
+            "kind": kind,
+            "m": m,
+            "n": n,
+            "k": k,
+            "threads": threads,
+            "partition": partition,
+            "pc_ways": pc_ways,
+            "compute_cycles": breakdown.compute_cycles,
+            "pack_cycles": breakdown.pack_cycles,
+            "c_stall_cycles": breakdown.c_stall_cycles,
+            "dram_limit_cycles": breakdown.dram_limit_cycles,
+            "reduction_cycles": getattr(breakdown, "reduction_cycles", 0.0),
+            "total_cycles": breakdown.total_cycles,
+            "gflops": breakdown.gflops,
+            "eval_us": elapsed_us,
+        }
+        self.records.append(entry)
+        if self.tracer is not None and self.tracer.enabled:
+            now = self.tracer.clock.now_us()
+            self.tracer.complete(
+                f"gemm {m}x{n}x{k}",
+                ts_us=max(0.0, now - elapsed_us),
+                dur_us=elapsed_us,
+                cat="gemm",
+                args={
+                    key: entry[key]
+                    for key in (
+                        "kind",
+                        "threads",
+                        "partition",
+                        "pc_ways",
+                        "compute_cycles",
+                        "pack_cycles",
+                        "c_stall_cycles",
+                        "dram_limit_cycles",
+                        "reduction_cycles",
+                        "total_cycles",
+                        "gflops",
+                    )
+                },
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"gemm.evaluations.{kind}",
+                help="modelled GEMM evaluations by model kind",
+            ).inc()
+            self.metrics.histogram(
+                "gemm.eval_us",
+                buckets=EVAL_US_BUCKETS,
+                help="wall microseconds per model evaluation",
+            ).observe(elapsed_us)
+        return entry

@@ -1,0 +1,333 @@
+"""Span/event tracing with Chrome trace-event and JSONL exporters.
+
+A :class:`Tracer` collects trace events — complete spans (``X``),
+begin/end pairs (``B``/``E``), instants (``i``), counters (``C``), and
+track metadata (``M``) — against a pluggable clock
+(:mod:`repro.obs.clock`).  Export is deterministic: events sort stably
+by ``(ts, emission order)`` with metadata first, and both exporters
+serialize with sorted keys, so a virtual-clock trace of a deterministic
+simulation is byte-identical across runs.
+
+``chrome_trace()`` returns the ``{"traceEvents": [...]}`` object format
+that Perfetto and ``chrome://tracing`` load directly;
+``write_jsonl()`` writes the same events one JSON object per line for
+grep/jq-style consumption.
+
+:class:`NullTracer` is the zero-overhead default: every method is a
+no-op and ``enabled`` is ``False``, so instrumented code guards hot
+paths with one attribute check (or simply passes ``obs=None``).
+
+:func:`validate_trace_events` is the minimal schema check the tests and
+the CI obs-smoke job share: required keys per phase, non-negative
+durations, matched and properly nested ``B``/``E`` pairs, and
+timestamps monotone per ``(pid, tid)`` track.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .clock import WallClock
+
+
+class Tracer:
+    """An in-memory trace-event collector bound to one clock."""
+
+    enabled = True
+
+    def __init__(self, clock=None, pid: int = 0):
+        self.clock = clock if clock is not None else WallClock()
+        self.pid = pid
+        self._events: List[dict] = []
+        self._seq = 0
+        self._open: Dict[int, List[str]] = {}
+
+    # -- emission -----------------------------------------------------
+
+    def _emit(self, event: dict) -> None:
+        event["pid"] = self.pid
+        self._seq += 1
+        event["_seq"] = self._seq
+        self._events.append(event)
+
+    def _ts(self, ts_us: Optional[float]) -> float:
+        return self.clock.now_us() if ts_us is None else ts_us
+
+    def metadata(self, name: str, value: str, tid: int = 0) -> None:
+        """Track naming: ``process_name`` / ``thread_name`` metadata."""
+        self._emit(
+            {
+                "name": name,
+                "ph": "M",
+                "ts": 0.0,
+                "tid": tid,
+                "args": {"name": value},
+            }
+        )
+
+    def instant(
+        self,
+        name: str,
+        ts_us: Optional[float] = None,
+        tid: int = 0,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        event = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": self._ts(ts_us),
+            "tid": tid,
+        }
+        if cat:
+            event["cat"] = cat
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def complete(
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        tid: int = 0,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        """One finished span: the ``X`` event Perfetto renders as a bar."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": ts_us,
+            "dur": dur_us,
+            "tid": tid,
+        }
+        if cat:
+            event["cat"] = cat
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def counter(
+        self,
+        name: str,
+        value: Union[float, dict],
+        ts_us: Optional[float] = None,
+        tid: int = 0,
+    ) -> None:
+        """A counter sample; Perfetto plots each series as a time line."""
+        args = value if isinstance(value, dict) else {"value": value}
+        self._emit(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": self._ts(ts_us),
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    def begin(
+        self,
+        name: str,
+        ts_us: Optional[float] = None,
+        tid: int = 0,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ) -> None:
+        event = {"name": name, "ph": "B", "ts": self._ts(ts_us), "tid": tid}
+        if cat:
+            event["cat"] = cat
+        if args:
+            event["args"] = args
+        self._emit(event)
+        self._open.setdefault(tid, []).append(name)
+
+    def end(self, ts_us: Optional[float] = None, tid: int = 0) -> None:
+        stack = self._open.get(tid, [])
+        if not stack:
+            raise ValueError(f"end() with no open span on track {tid}")
+        name = stack.pop()
+        self._emit(
+            {"name": name, "ph": "E", "ts": self._ts(ts_us), "tid": tid}
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        tid: int = 0,
+        cat: str = "",
+        args: Optional[dict] = None,
+    ):
+        """Measure a block on the tracer's clock as one complete span."""
+        t0 = self.clock.now_us()
+        try:
+            yield self
+        finally:
+            self.complete(
+                name,
+                ts_us=t0,
+                dur_us=self.clock.now_us() - t0,
+                tid=tid,
+                cat=cat,
+                args=args,
+            )
+
+    # -- export -------------------------------------------------------
+
+    def events(self) -> List[dict]:
+        """Events in export order: metadata first, then stable by ts."""
+        ordered = sorted(
+            self._events,
+            key=lambda e: (e["ph"] != "M", e["ts"], e["_seq"]),
+        )
+        return [{k: v for k, v in e.items() if k != "_seq"} for e in ordered]
+
+    def chrome_trace(self) -> dict:
+        return {"displayTimeUnit": "ms", "traceEvents": self.events()}
+
+    def write_chrome(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.chrome_trace(), indent=1, sort_keys=True) + "\n"
+        )
+        return path
+
+    def write_jsonl(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(e, sort_keys=True) for e in self.events()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(clock=_ZeroClock())
+
+    def _emit(self, event: dict) -> None:
+        pass
+
+    def begin(self, *args, **kwargs) -> None:
+        pass
+
+    def end(self, *args, **kwargs) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name, tid=0, cat="", args=None):
+        yield self
+
+
+class _ZeroClock:
+    def now_us(self) -> float:
+        return 0.0
+
+
+def jsonl_path_for(trace_path: Union[str, Path]) -> Path:
+    """``out.trace.json`` -> ``out.trace.jsonl`` (the event-log sibling)."""
+    path = Path(trace_path)
+    if path.suffix == ".json":
+        return path.with_suffix(".jsonl")
+    return Path(str(path) + ".jsonl")
+
+
+def validate_trace_events(events: List[dict]) -> List[str]:
+    """Check a trace-event list against the minimal schema.
+
+    Returns a list of problem descriptions — empty means valid.  The
+    contract checked: every event has ``name``/``ph``/``ts``/``pid``/
+    ``tid``; ``X`` events carry a non-negative ``dur``; ``B``/``E``
+    pairs match and nest properly per track; ``C`` events carry numeric
+    series; and timestamps are monotone non-decreasing per track in
+    list order (the exporters sort, so a valid file stays valid).
+    """
+    problems: List[str] = []
+    last_ts: Dict[tuple, float] = {}
+    stacks: Dict[tuple, List[str]] = {}
+    for i, event in enumerate(events):
+        missing = [
+            key
+            for key in ("name", "ph", "ts", "pid", "tid")
+            if key not in event
+        ]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        ph = event["ph"]
+        track = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if ph != "M":
+            if ts < last_ts.get(track, float("-inf")):
+                problems.append(
+                    f"event {i} ({event['name']!r}): ts {ts} goes "
+                    f"backwards on track {track}"
+                )
+            last_ts[track] = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"event {i} ({event['name']!r}): X needs dur >= 0, "
+                    f"got {dur!r}"
+                )
+        elif ph == "B":
+            stacks.setdefault(track, []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.get(track, [])
+            if not stack:
+                problems.append(
+                    f"event {i} ({event['name']!r}): E without B on "
+                    f"track {track}"
+                )
+            else:
+                opened = stack.pop()
+                if opened != event["name"]:
+                    problems.append(
+                        f"event {i}: E {event['name']!r} closes B "
+                        f"{opened!r} on track {track}"
+                    )
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                problems.append(f"event {i} ({event['name']!r}): C needs args")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                problems.append(
+                    f"event {i} ({event['name']!r}): non-numeric counter"
+                )
+    for track, stack in stacks.items():
+        if stack:
+            problems.append(f"track {track}: unclosed B spans {stack}")
+    return problems
+
+
+def validate_trace_file(path: Union[str, Path]) -> List[str]:
+    """Validate a Chrome trace-event JSON (or JSONL event log) file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        events = [json.loads(line) for line in text.splitlines() if line]
+    else:
+        data = json.loads(text)
+        if isinstance(data, dict):
+            events = data.get("traceEvents")
+            if not isinstance(events, list):
+                return [f"{path}: no traceEvents array"]
+        elif isinstance(data, list):
+            events = data
+        else:
+            return [f"{path}: not a trace object or event array"]
+    return validate_trace_events(events)

@@ -1,4 +1,4 @@
-"""Serving CLI: ``python -m repro.serve --machine carmel --trace synthetic``.
+"""Serving CLI: ``python -m repro.serve --arrivals synthetic``.
 
 Generates (or replays) an arrival trace, searches replica x thread x
 batch configurations of the target machine for the best throughput
@@ -8,6 +8,14 @@ latency-throughput figure into the output directory (default
 configuration instead of searching; ``--use-tuned`` activates the
 persistent tune cache so per-layer kernel dispatch follows the tuned
 winners (the same path as ``python -m repro.eval --use-tuned``).
+
+Observability (``docs/observability.md``): ``--trace out.trace.json``
+re-runs the winning configuration with the virtual-clock tracer and
+writes a Chrome trace-event file (plus a ``.jsonl`` event log) of its
+request lifecycle — byte-identical across runs of the same inputs;
+``--metrics out.metrics.json`` writes the metrics registry (JSON +
+Prometheus text).  ``--quiet`` silences progress; errors keep stderr
+and exit codes.
 """
 
 from __future__ import annotations
@@ -16,12 +24,19 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs as obslib
 from repro.isa.machine import MACHINES, machine_by_name
 from repro.workloads import SERVABLE_MODELS
 
-from .placement import Placement, search_configurations
+from .placement import (
+    Placement,
+    evaluate_configuration,
+    search_configurations,
+)
 from .report import build_report, latency_throughput_figure, save_report
 from .traffic import load_trace, synthetic_trace
+
+log = obslib.get_logger("serve")
 
 
 def parse_duration_ms(spec: str) -> float:
@@ -70,7 +85,7 @@ def _parse_args(argv):
         help="workload to serve (default resnet50)",
     )
     parser.add_argument(
-        "--trace",
+        "--arrivals",
         default="synthetic",
         help="'synthetic' (default) or a request_id,arrival_ms CSV path",
     )
@@ -139,24 +154,36 @@ def _parse_args(argv):
         default=None,
         help="tune cache root for --use-tuned (default out/tunecache)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (+ .jsonl event log) of "
+        "the winning configuration, stamped in virtual sim time",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry as JSON (+ .prom text format)",
+    )
+    obslib.add_logging_args(parser)
     return parser.parse_args(argv)
 
 
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
+    obslib.configure_from_args(args)
     try:
         machine = machine_by_name(args.machine)
     except KeyError as exc:
-        print(str(exc), file=sys.stderr)
+        log.error(str(exc))
         return 2
     if (args.replicas is None) != (args.threads is None):
-        print(
-            "pass both --replicas and --threads, or neither",
-            file=sys.stderr,
-        )
+        log.error("pass both --replicas and --threads, or neither")
         return 2
 
-    if args.trace == "synthetic":
+    if args.arrivals == "synthetic":
         trace = synthetic_trace(args.rate, args.duration, seed=args.seed)
         trace_info = {
             "kind": "synthetic",
@@ -167,23 +194,19 @@ def main(argv=None) -> int:
         }
     else:
         try:
-            trace = load_trace(args.trace)
+            trace = load_trace(args.arrivals)
         except (OSError, ValueError, IndexError) as exc:
-            print(
-                f"cannot replay trace {args.trace!r}: {exc}",
-                file=sys.stderr,
-            )
+            log.error(f"cannot replay trace {args.arrivals!r}: {exc}")
             return 2
         trace_info = {
             "kind": "csv",
-            "path": args.trace,
+            "path": args.arrivals,
             "requests": len(trace),
         }
     if not trace:
-        print(
+        log.error(
             "trace is empty — raise --rate or --duration "
-            "(or check the replayed CSV)",
-            file=sys.stderr,
+            "(or check the replayed CSV)"
         )
         return 2
 
@@ -193,7 +216,7 @@ def main(argv=None) -> int:
         cache = tune.activate(
             tune.TuneCache(args.tune_cache or tune.default_cache_root())
         )
-        print(f"per-layer dispatch: tuned (cache {cache.root})")
+        log.info(f"per-layer dispatch: tuned (cache {cache.root})")
 
     try:
         batch_candidates = [
@@ -221,8 +244,29 @@ def main(argv=None) -> int:
             placements=placements,
         )
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
+        log.error(str(exc))
         return 2
+
+    obs = obslib.obs_from_cli(args.trace, args.metrics, virtual_time=True)
+    if obs is not None:
+        # re-run the winning configuration with the virtual-clock
+        # tracer attached: one clean, deterministic trace of exactly
+        # the configuration the report describes (the warm executor
+        # reprices nothing, so the report bytes cannot shift)
+        obs.metrics.counter(
+            "serve.candidates", help="configurations the search simulated"
+        ).inc(len(outcomes))
+        best = evaluate_configuration(
+            trace,
+            machine,
+            args.model,
+            best.placement,
+            best.policy,
+            use_tuned=args.use_tuned,
+            executor=best.executor,
+            obs=obs,
+        )
+        log.debug("instrumented re-run of the winning configuration done")
 
     report = build_report(
         best,
@@ -245,22 +289,24 @@ def main(argv=None) -> int:
 
     cfg = report["config"]
     met = report["metrics"]
-    print(figure)
-    print()
-    print(
+    log.info(figure)
+    log.info("")
+    log.info(
         f"best config: {cfg['replicas']} replicas x "
         f"{cfg['threads_per_replica']} threads, max batch "
         f"{cfg['max_batch']} (wait {cfg['max_wait_ms']:g} ms) — "
         f"{met['throughput_rps']:.1f} rps, p99 {met['p99_ms']:.2f} ms "
         f"(SLO {'met' if cfg['slo_met'] else 'MISSED'})"
     )
-    print(f"wrote {json_path}")
-    print(f"wrote {figure_path}")
+    log.info(f"wrote {json_path}")
+    log.info(f"wrote {figure_path}")
+    if obs is not None:
+        for path in obs.write_outputs():
+            log.info(f"wrote {path}")
     if not cfg["slo_met"]:
-        print(
+        log.warning(
             "warning: no configuration met the SLO; reporting the "
-            "lowest-p99 candidate",
-            file=sys.stderr,
+            "lowest-p99 candidate"
         )
     return 0
 

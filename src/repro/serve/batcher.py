@@ -22,7 +22,9 @@ latency/throughput report is a pure function of (trace, config).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.obs import Obs
 
 from .traffic import Request
 
@@ -107,6 +109,7 @@ def simulate_serving(
     replicas: int,
     policy: BatchPolicy,
     service_time_ms: Callable[[int], float],
+    obs: Optional[Obs] = None,
 ) -> ServingResult:
     """Run a trace through R replicas under one batching policy.
 
@@ -114,6 +117,14 @@ def simulate_serving(
     (milliseconds); it is called once per distinct batch size when the
     caller memoizes (the executor does), so the event loop itself is
     O(requests).
+
+    ``obs`` attaches the observability bundle: the simulation emits the
+    per-request lifecycle (arrival instant, queued span, batch-execute
+    span, completion instant), queue-depth and per-replica
+    batch-occupancy counter series into ``obs.tracer`` — all stamped in
+    **virtual sim time**, so the trace is a pure function of (trace,
+    config) — and aggregate counters/histograms into ``obs.metrics``.
+    The default ``None`` takes the zero-overhead path.
     """
     if replicas < 1:
         raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -169,4 +180,106 @@ def simulate_serving(
         )
         free[replica] = completion
         i += size
-    return ServingResult(served=tuple(served), batches=tuple(batches))
+    result = ServingResult(served=tuple(served), batches=tuple(batches))
+    if obs is not None:
+        emit_serving_obs(result, obs)
+    return result
+
+
+#: histogram buckets for simulated request latency (milliseconds)
+LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+)
+
+#: trace track ids: 0 is the central queue, replica r is track r + 1
+QUEUE_TRACK = 0
+
+
+def emit_serving_obs(result: ServingResult, obs: Obs) -> None:
+    """Derive the trace and metrics of one simulated serving run.
+
+    Every timestamp comes from the simulation itself (milliseconds
+    scaled to trace microseconds), never from a wall clock, so two runs
+    of the same (trace, config) produce byte-identical exports.
+    """
+    tracer = obs.tracer
+    scale = 1e3  # sim milliseconds -> trace microseconds
+    replicas = sorted({b.replica for b in result.batches})
+    tracer.metadata("process_name", "repro.serve")
+    tracer.metadata("thread_name", "queue", tid=QUEUE_TRACK)
+    for r in replicas:
+        tracer.metadata("thread_name", f"replica {r}", tid=r + 1)
+
+    depth_deltas: List[Tuple[float, int, int]] = []
+    for order, s in enumerate(result.served):
+        arrival = s.request.arrival_ms * scale
+        dispatch = s.dispatch_ms * scale
+        completion = s.completion_ms * scale
+        args = {"request_id": s.request.request_id}
+        tracer.instant("arrive", ts_us=arrival, tid=QUEUE_TRACK, args=args)
+        tracer.complete(
+            "queued",
+            ts_us=arrival,
+            dur_us=dispatch - arrival,
+            tid=QUEUE_TRACK,
+            cat="request",
+            args={**args, "batch_size": s.batch_size},
+        )
+        tracer.instant(
+            "complete",
+            ts_us=completion,
+            tid=s.replica + 1,
+            args=args,
+        )
+        depth_deltas.append((s.request.arrival_ms, order, +1))
+        depth_deltas.append((s.dispatch_ms, order, -1))
+    for batch in result.batches:
+        dispatch = batch.dispatch_ms * scale
+        tracer.complete(
+            "batch",
+            ts_us=dispatch,
+            dur_us=batch.service_ms * scale,
+            tid=batch.replica + 1,
+            cat="batch",
+            args={"size": batch.size, "service_ms": batch.service_ms},
+        )
+        occupancy = f"occupancy_r{batch.replica}"
+        tracer.counter(occupancy, batch.size, ts_us=dispatch)
+        tracer.counter(
+            occupancy,
+            0,
+            ts_us=dispatch + batch.service_ms * scale,
+        )
+
+    depth = 0
+    max_depth = 0
+    for t_ms, _, delta in sorted(depth_deltas):
+        depth += delta
+        max_depth = max(max_depth, depth)
+        tracer.counter("queue_depth", depth, ts_us=t_ms * scale)
+
+    metrics = obs.metrics
+    metrics.counter(
+        "serve.requests", help="requests served by the simulation"
+    ).inc(len(result.served))
+    metrics.counter(
+        "serve.batches", help="batches dispatched"
+    ).inc(len(result.batches))
+    metrics.gauge(
+        "serve.queue_depth", help="central queue depth (max observed)"
+    ).set(max_depth)
+    latency = metrics.histogram(
+        "serve.latency_ms",
+        buckets=LATENCY_BUCKETS_MS,
+        help="request latency, arrival to completion",
+    )
+    for value in result.latencies_ms:
+        latency.observe(value)
+    batch_hist = metrics.histogram(
+        "serve.batch_size",
+        buckets=(1, 2, 4, 8, 16, 32, 64),
+        help="dispatched batch sizes",
+    )
+    for batch in result.batches:
+        batch_hist.observe(batch.size)

@@ -31,10 +31,14 @@ from repro.eval.harness import (
     tuned_layer_breakdown,
 )
 from repro.isa.machine import MachineModel
+from repro.obs import Obs
 from repro.sim.parallel import replica_topology
 from repro.workloads import LayerGemm, model_instances
 
 Instance = Tuple[int, LayerGemm]
+
+#: histogram buckets for modelled per-layer batch GEMM time (ms)
+LAYER_MS_BUCKETS = (0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0)
 
 
 class ModelExecutor:
@@ -47,11 +51,13 @@ class ModelExecutor:
         threads: int = 1,
         replicas: int = 1,
         use_tuned: bool = False,
+        obs: Optional[Obs] = None,
     ):
         self.machine = machine
         self.threads = threads
         self.replicas = replicas
         self.use_tuned = use_tuned
+        self.obs = obs
         if isinstance(model, str):
             self.model_name = model.lower()
             self.instances: List[Instance] = model_instances(model)
@@ -76,6 +82,11 @@ class ModelExecutor:
         """(seconds, main tile) of one batched layer GEMM."""
         key = (layer.layer_id, batch)
         if key not in self._layer_memo:
+            if self.obs is not None:
+                self.obs.metrics.counter(
+                    "serve.layer_pricings",
+                    help="modelled (layer, batch) GEMM evaluations",
+                ).inc()
             m, n, k = layer.batched_dims(batch)
             main: Optional[Tuple[int, int]] = None
             if self.use_tuned:
@@ -89,6 +100,17 @@ class ModelExecutor:
                 b.seconds,
                 main if main is not None else self.ctx.main_tile,
             )
+            if self.obs is not None:
+                self.obs.metrics.histogram(
+                    "serve.layer_time_ms",
+                    buckets=LAYER_MS_BUCKETS,
+                    help="modelled batched layer GEMM milliseconds",
+                ).observe(b.seconds * 1e3)
+        elif self.obs is not None:
+            self.obs.metrics.counter(
+                "serve.layer_memo_hits",
+                help="(layer, batch) pricings answered by the memo",
+            ).inc()
         return self._layer_memo[key]
 
     def batch_time_ms(self, batch: int) -> float:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.isa.machine import MachineModel
+from repro.obs import Obs
 from repro.sim.parallel import replica_numa_nodes, replica_topology
 from repro.workloads import LayerGemm
 
@@ -138,8 +139,14 @@ def evaluate_configuration(
     policy: BatchPolicy,
     use_tuned: bool = False,
     executor: Optional[ModelExecutor] = None,
+    obs: Optional[Obs] = None,
 ) -> ConfigOutcome:
-    """Simulate one configuration end to end."""
+    """Simulate one configuration end to end.
+
+    ``obs`` instruments this single run (virtual-time trace + metrics);
+    the search loop leaves it off so the emitted trace covers exactly
+    one configuration.
+    """
     if executor is None:
         executor = ModelExecutor(
             machine,
@@ -147,9 +154,12 @@ def evaluate_configuration(
             threads=placement.threads_per_replica,
             replicas=placement.replicas,
             use_tuned=use_tuned,
+            obs=obs,
         )
+    elif obs is not None and executor.obs is None:
+        executor.obs = obs
     result = simulate_serving(
-        trace, placement.replicas, policy, executor.batch_time_ms
+        trace, placement.replicas, policy, executor.batch_time_ms, obs=obs
     )
     return ConfigOutcome(
         placement=placement,

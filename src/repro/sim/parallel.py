@@ -44,6 +44,7 @@ from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Tuple
 
 from repro.isa.machine import MachineModel
+from repro.obs import profile as obs_profile
 
 from .memory import GemmShape, TileParams, memory_cost
 from .timing import ChunkPlan, TimingModel, plans_compute_cycles
@@ -558,6 +559,9 @@ def parallel_gemm_breakdown(
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
+    # profile hook: one global check when observability is off
+    prof = obs_profile.ACTIVE
+    started = prof.start() if prof is not None else None
     model = model or TimingModel(machine=machine)
     mem = memory_cost(
         shape, tiles, machine=machine,
@@ -682,7 +686,7 @@ def parallel_gemm_breakdown(
 
     critical = max(range(len(busy)), key=busy.__getitem__)
     compute_c, pack_c, stall_c, red_c = components[critical]
-    return ParallelBreakdown(
+    breakdown = ParallelBreakdown(
         threads=threads,
         jc_ways=partition.jc_ways,
         ic_ways=partition.ic_ways,
@@ -696,6 +700,19 @@ def parallel_gemm_breakdown(
         machine=machine,
         thread_busy_cycles=tuple(busy),
     )
+    if prof is not None:
+        prof.record(
+            "parallel",
+            shape.m,
+            shape.n,
+            shape.k,
+            threads=threads,
+            partition=breakdown.partition_label,
+            pc_ways=breakdown.pc_ways,
+            breakdown=breakdown,
+            started=started,
+        )
+    return breakdown
 
 
 def scaling_curve(

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.isa.machine import CARMEL, MachineModel
+from repro.obs import profile as obs_profile
 
 from .memory import GemmShape, TileParams, memory_cost
 from .pipeline import KernelTrace, PipelineModel
@@ -181,13 +182,17 @@ def gemm_time_model(
     full ``kc`` chunks plus one ragged remainder; packing and C-streaming
     costs come from the analytical memory model.
     """
+    # the profile hook is a single global check when observability is
+    # off — this is the hot path of every tune sweep
+    prof = obs_profile.ACTIVE
+    started = prof.start() if prof is not None else None
     model = model or TimingModel(machine=machine)
     compute = plans_compute_cycles(chunk_plans, shape.k, tiles.kc, model)
 
     mem = memory_cost(shape, tiles, machine=machine, prefetch_c=prefetch_c)
     pack = mem.pack_a_cycles + mem.pack_b_cycles
     dram_limit = mem.dram_bytes / machine.dram_bandwidth_bytes_per_cycle
-    return GemmTimeBreakdown(
+    breakdown = GemmTimeBreakdown(
         compute_cycles=compute,
         pack_cycles=pack,
         c_stall_cycles=mem.c_stall_cycles,
@@ -195,3 +200,16 @@ def gemm_time_model(
         flops=shape.flops,
         machine=machine,
     )
+    if prof is not None:
+        prof.record(
+            "serial",
+            shape.m,
+            shape.n,
+            shape.k,
+            threads=1,
+            partition="serial",
+            pc_ways=1,
+            breakdown=breakdown,
+            started=started,
+        )
+    return breakdown

@@ -95,6 +95,7 @@ def sweep(
     workers: int = 0,
     cache: Optional[TuneCache] = None,
     threads: Union[str, Iterable[int]] = (1,),
+    obs=None,
 ) -> dict:
     """Tune every (machine, problem, thread count) and return the winner
     artifact.
@@ -108,13 +109,19 @@ def sweep(
                                   ...}}}}}
 
     Serial winners keep their historical keys, so artifacts tuned with
-    ``threads=(1,)`` are byte-compatible consumers' expectations.
+    ``threads=(1,)`` are byte-compatible consumers' expectations.  When
+    a cache is active, the artifact additionally records its hit/miss/
+    invalidation counters (``cache_hits``/``cache_misses``/
+    ``cache_invalidations`` — this sweep's deltas, so a warm sweep
+    reads all-hits even on a shared cache object).  ``obs`` forwards an
+    observability bundle to :func:`repro.tune.executor.run_jobs`.
     """
     from repro.isa.targets import target
 
     thread_axis = parse_threads(threads)
     jobs = enumerate_space(isas, problems, threads=thread_axis)
-    records = run_jobs(jobs, workers=workers, cache=cache)
+    stats_before = cache.stats() if cache is not None else None
+    records = run_jobs(jobs, workers=workers, cache=cache, obs=obs)
 
     Slot = Tuple[str, Tuple[int, int, int], int]
     best: Dict[Slot, tuple] = {}
@@ -145,12 +152,20 @@ def sweep(
         if nthreads != 1:
             entry["threads"] = nthreads
         machines[isa]["best"][_problem_id(*problem, nthreads)] = entry
-    return {
+    artifact = {
         "model_version": MODEL_VERSION,
         "rank": RANK,
         "threads": list(thread_axis),
         "machines": machines,
     }
+    if cache is not None:
+        artifact.update(
+            {
+                key: value - stats_before[key]
+                for key, value in cache.stats().items()
+            }
+        )
+    return artifact
 
 
 def best_kernel(

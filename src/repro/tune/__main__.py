@@ -14,12 +14,15 @@ import sys
 import time
 from pathlib import Path
 
+from repro import obs as obslib
 from repro.eval.report import render_table
 
 from . import save_artifact, sweep
 from .cache import TuneCache, default_cache_root
 from .executor import breakdown_calls, reset_breakdown_calls
 from .space import parse_threads, problem_set, resolve_isas
+
+log = obslib.get_logger("tune")
 
 
 def _parse_args(argv):
@@ -69,6 +72,20 @@ def _parse_args(argv):
         action="store_true",
         help="cross-check every winner against serial select_kernel_for",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON (+ .jsonl event log) of "
+        "the sweep: per-job/per-chunk spans on the wall clock",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write the metrics registry as JSON (+ .prom text format)",
+    )
+    obslib.add_logging_args(parser)
     return parser.parse_args(argv)
 
 
@@ -85,43 +102,63 @@ def _verify(artifact, isas, problems) -> int:
             tuned = tuple(entry["kernel"])
             if tuned != shape:
                 mismatches += 1
-                print(
+                log.error(
                     f"MISMATCH {isa} {m}x{n}x{k}: "
-                    f"tune={tuned} select_kernel_for={shape}",
-                    file=sys.stderr,
+                    f"tune={tuned} select_kernel_for={shape}"
                 )
     if mismatches == 0:
-        print("verify: every winner agrees with serial select_kernel_for")
+        log.info("verify: every winner agrees with serial select_kernel_for")
     return mismatches
 
 
 def main(argv=None) -> int:
     args = _parse_args(argv if argv is not None else sys.argv[1:])
+    obslib.configure_from_args(args)
     try:
         problems = problem_set(args.shapes)
         thread_axis = parse_threads(args.threads)
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
+        log.error(str(exc))
         return 2
     isas = [name.strip() for name in args.machines.split(",") if name.strip()]
     try:
         isa_names = resolve_isas(isas)
     except KeyError as exc:
-        print(str(exc), file=sys.stderr)
+        log.error(str(exc))
         return 2
 
+    obs = obslib.obs_from_cli(args.trace, args.metrics)
     cache = None
     if not args.no_cache:
         cache = TuneCache(args.cache_dir or default_cache_root())
     reset_breakdown_calls()
     t0 = time.time()
-    artifact = sweep(
-        isa_names,
-        problems,
-        workers=args.workers,
-        cache=cache,
-        threads=thread_axis,
-    )
+    if obs is not None:
+        with obs.tracer.span(
+            "sweep",
+            cat="tune",
+            args={
+                "machines": ",".join(isa_names),
+                "problems": len(problems),
+                "workers": args.workers,
+            },
+        ):
+            artifact = sweep(
+                isa_names,
+                problems,
+                workers=args.workers,
+                cache=cache,
+                threads=thread_axis,
+                obs=obs,
+            )
+    else:
+        artifact = sweep(
+            isa_names,
+            problems,
+            workers=args.workers,
+            cache=cache,
+            threads=thread_axis,
+        )
     elapsed = time.time() - t0
 
     for isa in isa_names:
@@ -141,8 +178,8 @@ def main(argv=None) -> int:
                         "candidates": entry["candidates"],
                     }
                 )
-        print(render_table(rows, title=f"{isa} — {info['machine']}"))
-        print()
+        log.info(render_table(rows, title=f"{isa} — {info['machine']}"))
+        log.info("")
 
     out = save_artifact(artifact, Path(args.out))
     n_jobs = sum(
@@ -154,18 +191,33 @@ def main(argv=None) -> int:
     if cache is not None:
         stats += (
             f"; cache {cache.root}: {cache.hits} hits, "
-            f"{cache.misses} misses"
+            f"{cache.misses} misses, {cache.invalidations} invalidations"
         )
     stats += f"; {breakdown_calls()} modelled evaluations"
-    print(stats)
-    print(f"wrote {out}")
+    log.info(stats)
+    log.info(f"wrote {out}")
+
+    if obs is not None:
+        if cache is not None:
+            for name, value in cache.stats().items():
+                obs.metrics.counter(
+                    f"tune.{name}", help="tune cache counter"
+                ).inc(value)
+        obs.metrics.gauge(
+            "tune.sweep_seconds", help="wall seconds of the sweep"
+        ).set(elapsed)
+        obs.metrics.counter(
+            "tune.modelled_evaluations",
+            help="timing-model evaluations this run",
+        ).inc(breakdown_calls())
+        for path in obs.write_outputs():
+            log.info(f"wrote {path}")
 
     if args.verify:
         if 1 not in thread_axis:
-            print(
+            log.warning(
                 "verify: skipped (select_kernel_for is the serial path; "
-                "re-run with 1 in --threads)",
-                file=sys.stderr,
+                "re-run with 1 in --threads)"
             )
             return 0
         return 1 if _verify(artifact, isa_names, problems) else 0

@@ -130,9 +130,7 @@ class TunedBreakdown:
 
 def record_from_breakdown(breakdown) -> Dict[str, float]:
     """Serialize a (modelled or cached) breakdown to a plain JSON record."""
-    freq = getattr(
-        breakdown, "freq_ghz", None
-    ) or breakdown.machine.freq_ghz
+    freq = getattr(breakdown, "freq_ghz", None) or breakdown.machine.freq_ghz
     return {
         "compute_cycles": breakdown.compute_cycles,
         "pack_cycles": breakdown.pack_cycles,
@@ -170,6 +168,12 @@ class TuneCache:
         self.root = Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
+        #: entries found on disk but rejected (torn write, corrupt
+        #: JSON, incomplete record) — each one also counts as a miss
+        #: and is re-evaluated; key-level invalidation (a machine
+        #: fingerprint change) is invisible here because it lands on a
+        #: different digest entirely
+        self.invalidations = 0
 
     def path_for(self, key: CacheKey) -> Path:
         return self.root / key.isa / f"{key.digest}.json"
@@ -190,11 +194,18 @@ class TuneCache:
     def get(self, key: CacheKey) -> Optional[Dict[str, float]]:
         path = self.path_for(key)
         try:
-            entry = json.loads(path.read_text())
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
             record = entry["record"]
             if not self.RECORD_FIELDS <= record.keys():
                 raise KeyError("incomplete record")
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # the entry existed but is unusable: invalidate and re-miss
+            self.invalidations += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -231,8 +242,17 @@ class TuneCache:
     def __repr__(self) -> str:
         return (
             f"TuneCache(root={str(self.root)!r}, entries={len(self)}, "
-            f"hits={self.hits}, misses={self.misses})"
+            f"hits={self.hits}, misses={self.misses}, "
+            f"invalidations={self.invalidations})"
         )
+
+    def stats(self) -> Dict[str, int]:
+        """The counters as a plain dict (artifact / metrics export)."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_invalidations": self.invalidations,
+        }
 
 
 _active: Optional[TuneCache] = None

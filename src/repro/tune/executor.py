@@ -21,8 +21,12 @@ every job hits the cache).
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import Obs
 
 from .cache import TuneCache, cache_key, record_from_breakdown
 from .space import TuneJob
@@ -79,9 +83,7 @@ def evaluate_candidate(
 
     ctx = _context_for(isa)
     if threads == 1:
-        breakdown = harness.exo_gemm_breakdown(
-            m, n, k, main=(mr, nr), ctx=ctx
-        )
+        breakdown = harness.exo_gemm_breakdown(m, n, k, main=(mr, nr), ctx=ctx)
     else:
         breakdown = harness.exo_parallel_breakdown(
             m, n, k, threads, ctx=ctx, main=(mr, nr)
@@ -91,8 +93,15 @@ def evaluate_candidate(
 
 def _evaluate_chunk(
     isa: str, tiles: Sequence[Tuple[int, int, int, int, int, int]]
-) -> List[Dict[str, float]]:
-    return [evaluate_candidate(isa, *spec) for spec in tiles]
+) -> Tuple[float, List[Dict[str, float]]]:
+    """One worker-side chunk: (busy seconds, records in spec order).
+
+    The worker times itself so the parent can report true worker busy
+    time (and so utilization) without clock skew between processes.
+    """
+    t0 = time.perf_counter()
+    records = [evaluate_candidate(isa, *spec) for spec in tiles]
+    return time.perf_counter() - t0, records
 
 
 def _chunk_indices(
@@ -114,12 +123,19 @@ def run_jobs(
     jobs: Sequence[TuneJob],
     workers: int = 0,
     cache: Optional[TuneCache] = None,
+    obs: Optional[Obs] = None,
 ) -> List[Dict[str, float]]:
     """Evaluate every job, returning records in job order.
 
     Cached jobs are answered without any evaluation; the remainder run
     serially in-process (``workers <= 1``) or across a process pool, and
     their records are persisted back to the cache before returning.
+
+    ``obs`` instruments the run: per-job spans (serial) or per-chunk
+    spans (parallel, one trace track per chunk, placed by the worker's
+    self-reported busy time), job counters, and — for pool runs — a
+    ``tune.worker_utilization`` gauge (aggregate worker busy seconds
+    over ``workers x`` pool wall seconds).
     """
     from repro.isa.targets import target
 
@@ -139,14 +155,27 @@ def run_jobs(
                 results[i] = record
                 continue
         pending.append(i)
+    if obs is not None:
+        obs.metrics.counter(
+            "tune.jobs_total", help="candidate evaluations requested"
+        ).inc(len(jobs))
+        obs.metrics.counter(
+            "tune.jobs_cached", help="jobs answered by the timing cache"
+        ).inc(len(jobs) - len(pending))
+        obs.metrics.counter(
+            "tune.jobs_evaluated", help="jobs that ran the timing model"
+        ).inc(len(pending))
     if not pending:
         return results
 
     if workers and workers > 1:
         chunks = _chunk_indices(pending, jobs, workers)
+        busy_s = 0.0
+        pool_t0 = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
-            for isa, indices in chunks:
+            chunk_ids = {}
+            for chunk_id, (isa, indices) in enumerate(chunks):
                 specs = [
                     (
                         jobs[i].mr,
@@ -158,30 +187,63 @@ def run_jobs(
                     )
                     for i in indices
                 ]
-                futures[pool.submit(_evaluate_chunk, isa, specs)] = indices
+                future = pool.submit(_evaluate_chunk, isa, specs)
+                futures[future] = indices
+                chunk_ids[future] = (chunk_id, isa)
             global _breakdown_calls
             for future in as_completed(futures):
                 # persist each chunk as it lands, so an interrupted
                 # cold sweep resumes instead of starting over
-                for i, record in zip(futures[future], future.result()):
+                elapsed_s, records = future.result()
+                busy_s += elapsed_s
+                for i, record in zip(futures[future], records):
                     results[i] = record
                     if cache is not None:
                         cache.put(keys[i], record)
                 # credit the worker's evaluations to this process's
                 # counter, so the CLI stats stay truthful under -j
                 _breakdown_calls += len(futures[future])
+                if obs is not None and obs.tracer.enabled:
+                    chunk_id, isa = chunk_ids[future]
+                    now = obs.tracer.clock.now_us()
+                    obs.tracer.complete(
+                        f"chunk {isa}",
+                        ts_us=max(0.0, now - elapsed_s * 1e6),
+                        dur_us=elapsed_s * 1e6,
+                        tid=chunk_id + 1,
+                        cat="tune",
+                        args={"jobs": len(futures[future]), "isa": isa},
+                    )
+        if obs is not None:
+            wall_s = time.perf_counter() - pool_t0
+            obs.metrics.gauge(
+                "tune.worker_utilization",
+                help="worker busy seconds / (workers x pool wall seconds)",
+            ).set(min(1.0, busy_s / (workers * wall_s)) if wall_s else 0.0)
     else:
         for i in pending:
             job = jobs[i]
-            results[i] = evaluate_candidate(
-                job.isa,
-                job.mr,
-                job.nr,
-                job.m,
-                job.n,
-                job.k,
-                threads=job.threads,
-            )
+            if obs is not None and obs.tracer.enabled:
+                span = obs.tracer.span(
+                    f"job {job.isa} {job.m}x{job.n}x{job.k}",
+                    cat="tune",
+                    args={
+                        "tile": f"{job.mr}x{job.nr}",
+                        "threads": job.threads,
+                    },
+                )
+            else:
+                span = None
+            with span if span is not None else nullcontext():
+                results[i] = evaluate_candidate(
+                    job.isa,
+                    job.mr,
+                    job.nr,
+                    job.m,
+                    job.n,
+                    job.k,
+                    threads=job.threads,
+                )
             if cache is not None:
                 cache.put(keys[i], results[i])
     return results

@@ -586,7 +586,7 @@ class TestEndToEnd:
             "carmel",
             "--model",
             "vgg16",
-            "--trace",
+            "--arrivals",
             "synthetic",
             "--rate",
             "60",
@@ -617,10 +617,10 @@ class TestEndToEnd:
     def test_cli_rejects_bad_arguments(self, tmp_path, capsys):
         assert serve_main(["--machine", "nonesuch"]) == 2
         assert serve_main(["--replicas", "2"]) == 2
-        assert serve_main(["--trace", str(tmp_path / "missing.csv")]) == 2
+        assert serve_main(["--arrivals", str(tmp_path / "missing.csv")]) == 2
         bad = tmp_path / "bad.csv"
         bad.write_text("request_id,arrival_ms\n0,not-a-number\n")
-        assert serve_main(["--trace", str(bad)]) == 2
+        assert serve_main(["--arrivals", str(bad)]) == 2
         capsys.readouterr()
 
     def test_search_fails_fast_on_empty_trace(self):
@@ -646,7 +646,7 @@ class TestEndToEnd:
     def test_cli_fails_fast_on_corrupt_csv(self, tmp_path, capsys):
         dup = tmp_path / "dup.csv"
         dup.write_text("request_id,arrival_ms\n0,1.0\n0,2.0\n")
-        assert serve_main(["--trace", str(dup)]) == 2
+        assert serve_main(["--arrivals", str(dup)]) == 2
         assert "duplicate request_id" in capsys.readouterr().err
 
     def test_numa_machine_report_pins_replicas_to_nodes(self, tmp_path):

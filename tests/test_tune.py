@@ -125,6 +125,21 @@ class TestCache:
         cache.path_for(key).write_text("{not json")
         assert cache.get(key) is None
 
+    def test_corrupt_entry_counts_as_invalidation(self, tmp_path):
+        cache = TuneCache(tmp_path)
+        key = cache_key(CARMEL, (8, 12), (64, 48, 64))
+        cache.put(key, {"total_cycles": 1.0})  # incomplete record
+        assert cache.get(key) is None
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.invalidations == 2
+        assert cache.stats() == {
+            "cache_hits": 0,
+            "cache_misses": 2,
+            "cache_invalidations": 2,
+        }
+        assert "invalidations=2" in repr(cache)
+
     def test_cached_breakdown_reproduces_totals(self, registry):
         from repro.eval.harness import exo_gemm_breakdown
         from repro.tune.cache import (
@@ -200,7 +215,16 @@ class TestSweep:
         # --verify itself re-models serially outside the counter
         assert main(args) == 0
         assert tune.breakdown_calls() == 0
-        assert tune.load_artifact(tmp_path / "art.json") == cold
+        warm = tune.load_artifact(tmp_path / "art.json")
+        # cache statistics are per-sweep deltas: the cold run evaluated
+        # everything, the warm run answered entirely from the cache
+        assert cold["cache_misses"] > 0 and cold["cache_hits"] == 0
+        assert warm["cache_hits"] > 0 and warm["cache_misses"] == 0
+        assert warm["cache_invalidations"] == 0
+        strip = lambda art: {  # noqa: E731
+            k: v for k, v in art.items() if not k.startswith("cache_")
+        }
+        assert strip(warm) == strip(cold)
         out = capsys.readouterr().out
         assert "agrees with serial select_kernel_for" in out
 
