@@ -59,8 +59,8 @@ def test_extension_pack_vs_nopack_crossover(benchmark, ctx):
     small, large = benchmark(run)
     small_packed, small_nopack = small
     large_packed, large_nopack = large
-    assert small_nopack < small_packed   # packing not worth it when tiny
-    assert large_packed < large_nopack   # packing essential at scale
+    assert small_nopack < small_packed  # packing not worth it when tiny
+    assert large_packed < large_nopack  # packing essential at scale
 
 
 def test_extension_fp16_solo_mode(benchmark):
@@ -79,8 +79,8 @@ def test_extension_fp16_solo_mode(benchmark):
     rates = benchmark(run)
     peak16 = CARMEL.peak_gflops(16)
     assert all(r < peak16 for r in rates.values())
-    assert rates[(8, 16)] > 0.75 * peak16     # big tile near f16 peak
-    assert rates[(8, 16)] > rates[(8, 8)]     # same monotonicity as f32
+    assert rates[(8, 16)] > 0.75 * peak16  # big tile near f16 peak
+    assert rates[(8, 16)] > rates[(8, 8)]  # same monotonicity as f32
 
 
 def test_extension_avx512_portability(benchmark):
@@ -95,6 +95,6 @@ def test_extension_avx512_portability(benchmark):
         return kernel, gflops
 
     kernel, gflops = benchmark(run)
-    assert kernel.variant == "broadcast"     # no lane FMA on AVX-512
+    assert kernel.variant == "broadcast"  # no lane FMA on AVX-512
     assert "_mm512_fmadd_ps" in kernel.proc.c_code()
     assert 0 < gflops < AVX512_SERVER.peak_gflops()

@@ -16,10 +16,10 @@ def _trace(ctx):
 
 def test_fig12_kloop_assembly(benchmark, ctx):
     trace = benchmark(_trace, ctx)
-    assert trace.count("fmla") == 24          # Figure 12 lines 8-31
-    assert trace.count("ldp") == 2            # lines 2 and 4
-    assert trace.count("ldr") == 1            # line 6
+    assert trace.count("fmla") == 24  # Figure 12 lines 8-31
+    assert trace.count("ldp") == 2  # lines 2 and 4
+    assert trace.count("ldr") == 1  # line 6
     assert trace.vector_loads() == 5
     assert trace.count("add") == 1 and trace.count("bne") == 1
-    assert trace.reg_count <= 32              # fits the ARM register file
-    assert trace.reg_count == 29              # 24 accumulators + 5 operands
+    assert trace.reg_count <= 32  # fits the ARM register file
+    assert trace.reg_count == 29  # 24 accumulators + 5 operands

@@ -26,8 +26,8 @@ def test_fig15_resnet_per_layer(benchmark, ctx):
     assert len(rows) == 20
 
     wins = winners(rows, CONFIGS)
-    assert wins.count("ALG+EXO") >= 8       # paper: 9 of 20
-    assert wins.count("ALG+NEON") == 0      # never the best
+    assert wins.count("ALG+EXO") >= 8  # paper: 9 of 20
+    assert wins.count("ALG+NEON") == 0  # never the best
 
     # the m=49 layers are where edge cases bite: EXO must take all four
     for row in rows[16:]:

@@ -25,7 +25,7 @@ def test_table1_and_table2(benchmark):
 
     assert len(resnet) == 20 and len(vgg) == 9
     # spot-check the rows the paper calls out in the text
-    assert resnet[0] == (12544, 64, 147)   # Section III-B's edge example
+    assert resnet[0] == (12544, 64, 147)  # Section III-B's edge example
     assert resnet[16] == (49, 512, 4608)
     assert vgg[0] == (50176, 64, 27)
     assert vgg[8] == (196, 512, 4608)

@@ -1,0 +1,153 @@
+"""CI perf-regression gate over the recorded benchmark JSON.
+
+``benchmarks/conftest.py`` writes one ``out/bench/BENCH_<name>.json``
+per benchmark module — a list of ``{name, machine, isa, threads,
+metric, value}`` records.  This script compares those against the
+committed floors in ``benchmarks/baselines/`` and fails (exit 1) when
+any metric regresses by more than the tolerance, or when a baselined
+metric is missing from the current run (a silently-skipped benchmark
+must not pass the gate).  Metrics present only in the current run are
+fine — new benchmarks land before their baselines.
+
+Directionality is inferred from the metric name: ``*_seconds``,
+``*_ms``, ``*_us`` are lower-is-better latencies; everything else
+(rates, gflops, speedup ratios) is higher-is-better.
+
+Re-baselining (see docs/model.md): run the benchmark suite, inspect
+``out/bench/``, and copy the records you want to gate into
+``benchmarks/baselines/`` — keeping only machine-independent metrics
+(model-deterministic gflops, relative speedup ratios) and setting
+deliberately conservative values so the 20% tolerance trips on real
+collapses, not runner jitter.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        [--current out/bench] [--baselines benchmarks/baselines] \
+        [--tolerance 0.2]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: metric-name suffixes where a *larger* value is a regression
+LOWER_IS_BETTER_SUFFIXES = ("_seconds", "_ms", "_us")
+
+#: (record name, machine, isa, threads, metric)
+Key = Tuple[str, str, str, int, str]
+
+
+def lower_is_better(metric: str) -> bool:
+    return metric.endswith(LOWER_IS_BETTER_SUFFIXES)
+
+
+def load_records(directory: Path) -> Dict[Key, float]:
+    """Index every ``BENCH_*.json`` under ``directory`` by record key."""
+    records: Dict[Key, float] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        for rec in json.loads(path.read_text()):
+            key = (
+                str(rec["name"]),
+                str(rec["machine"]),
+                str(rec["isa"]),
+                int(rec["threads"]),
+                str(rec["metric"]),
+            )
+            records[key] = float(rec["value"])
+    return records
+
+
+def compare(
+    current: Dict[Key, float],
+    baselines: Dict[Key, float],
+    tolerance: float,
+) -> List[str]:
+    """Regression messages, empty when the gate passes.
+
+    A higher-is-better metric regresses below ``(1 - tolerance) *
+    baseline``; a lower-is-better one above ``(1 + tolerance) *
+    baseline``.  A baselined metric absent from the current run is
+    reported as a failure too.
+    """
+    problems = []
+    for key, base in sorted(baselines.items()):
+        name, machine, isa, threads, metric = key
+        label = f"{name} [{machine}/{isa}/t{threads}] {metric}"
+        if key not in current:
+            problems.append(f"MISSING  {label}: baselined but not run")
+            continue
+        value = current[key]
+        if lower_is_better(metric):
+            floor = base * (1.0 + tolerance)
+            if value > floor:
+                problems.append(
+                    f"REGRESSION  {label}: {value:g} > {floor:g} "
+                    f"(baseline {base:g} + {tolerance:.0%})"
+                )
+        else:
+            floor = base * (1.0 - tolerance)
+            if value < floor:
+                problems.append(
+                    f"REGRESSION  {label}: {value:g} < {floor:g} "
+                    f"(baseline {base:g} - {tolerance:.0%})"
+                )
+    return problems
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark metrics regress past baselines"
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path("out/bench"),
+        help="directory of this run's BENCH_*.json (default: out/bench)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=Path("benchmarks/baselines"),
+        help="directory of committed baseline BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed relative slack before failing (default: 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = load_records(args.baselines)
+    if not baselines:
+        print(f"error: no baseline records under {args.baselines}")
+        return 1
+    if not args.current.is_dir():
+        print(f"error: no current bench output at {args.current}")
+        return 1
+    current = load_records(args.current)
+
+    problems = compare(current, baselines, args.tolerance)
+    checked = sum(1 for key in baselines if key in current)
+    if problems:
+        for line in problems:
+            print(line)
+        print(
+            f"\n{len(problems)} of {len(baselines)} gated metrics failed "
+            f"(tolerance {args.tolerance:.0%})"
+        )
+        return 1
+    print(
+        f"all {checked} gated metrics within {args.tolerance:.0%} "
+        "of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -96,7 +96,7 @@ def pytest_sessionfinish(session, exitstatus):
     for bench in benches:
         modpath = (getattr(bench, "fullname", "") or "?").split("::", 1)[0]
         module = Path(modpath).stem
-        name = module[len("bench_"):] if module.startswith("bench_") else module
+        name = module.removeprefix("bench_")
         record = bench_record(bench)
         if record["value"] is None:
             continue

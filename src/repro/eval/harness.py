@@ -309,6 +309,8 @@ def exo_parallel_breakdown(
     ctx: EvalContext,
     main: Optional[Tuple[int, int]] = None,
     pc_ways: Optional[int] = None,
+    partition=None,
+    search: Optional[str] = None,
 ) -> ParallelBreakdown:
     """Threaded five-loop GEMM with per-slice edge/tail kernel selection.
 
@@ -319,7 +321,9 @@ def exo_parallel_breakdown(
     the partition's uneven extents.  ``ctx`` is required: the threaded
     model never defaults a machine.  ``pc_ways`` pins the reduction
     axis (``pc_ways=1`` restricts the search to plane-only grids — the
-    pre-NUMA model exactly).
+    pre-NUMA model exactly).  A pinned ``partition`` (e.g. one chosen
+    by a batched :mod:`repro.sim.vectorized` sweep) skips the grid
+    search entirely; ``search`` forwards the engine selection.
 
     With ``threads=1`` this equals :func:`exo_gemm_breakdown` exactly.
     """
@@ -336,6 +340,8 @@ def exo_parallel_breakdown(
         ),
         model=ctx.model,
         pc_ways=pc_ways,
+        partition=partition,
+        search=search,
     )
 
 

@@ -151,3 +151,54 @@ class GemmProfiler:
                 help="wall microseconds per model evaluation",
             ).observe(elapsed_us)
         return entry
+
+    def record_batch(
+        self,
+        kind: str,
+        candidates: int,
+        started: Optional[float] = None,
+    ) -> dict:
+        """Log one *batched* evaluation as a single event.
+
+        The vectorized engine (:mod:`repro.sim.vectorized`) evaluates
+        whole candidate tensors per call; tracing such a sweep must not
+        emit one event per candidate, so the whole batch gets one
+        record, one complete span carrying a ``candidates`` count, one
+        increment of ``gemm.evaluations.batch``, and ``candidates``
+        added to the ``model.candidates_evaluated`` counter.
+        """
+        elapsed_us = (
+            (time.perf_counter() - started) * 1e6
+            if started is not None
+            else 0.0
+        )
+        entry = {
+            "kind": f"batch.{kind}",
+            "candidates": candidates,
+            "eval_us": elapsed_us,
+        }
+        self.records.append(entry)
+        if self.tracer is not None and self.tracer.enabled:
+            now = self.tracer.clock.now_us()
+            self.tracer.complete(
+                f"model batch [{kind}]",
+                ts_us=max(0.0, now - elapsed_us),
+                dur_us=elapsed_us,
+                cat="gemm",
+                args={"kind": entry["kind"], "candidates": candidates},
+            )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "gemm.evaluations.batch",
+                help="batched model evaluations (one per engine call)",
+            ).inc()
+            self.metrics.counter(
+                "model.candidates_evaluated",
+                help="candidates scored by the vectorized engine",
+            ).inc(candidates)
+            self.metrics.histogram(
+                "gemm.eval_us",
+                buckets=EVAL_US_BUCKETS,
+                help="wall microseconds per model evaluation",
+            ).observe(elapsed_us)
+        return entry

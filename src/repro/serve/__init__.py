@@ -18,7 +18,7 @@ from .batcher import (
     ServingResult,
     simulate_serving,
 )
-from .executor import ModelExecutor
+from .executor import ModelExecutor, prewarm_executors
 from .placement import (
     ConfigOutcome,
     Placement,
@@ -50,6 +50,7 @@ __all__ = [
     "latency_throughput_figure",
     "load_trace",
     "percentile",
+    "prewarm_executors",
     "save_report",
     "save_trace",
     "search_configurations",

@@ -82,17 +82,8 @@ class ModelExecutor:
         """(seconds, main tile) of one batched layer GEMM."""
         key = (layer.layer_id, batch)
         if key not in self._layer_memo:
-            if self.obs is not None:
-                self.obs.metrics.counter(
-                    "serve.layer_pricings",
-                    help="modelled (layer, batch) GEMM evaluations",
-                ).inc()
             m, n, k = layer.batched_dims(batch)
-            main: Optional[Tuple[int, int]] = None
-            if self.use_tuned:
-                # dispatch on the base machine: its fingerprint is what
-                # the tune cache keyed the winners under
-                main, _ = tuned_layer_breakdown(self.base_ctx, m, n, k)
+            main = self._main_tile_for(m, n, k)
             b = exo_parallel_breakdown(
                 m, n, k, self.threads, ctx=self.ctx, main=main
             )
@@ -100,12 +91,7 @@ class ModelExecutor:
                 b.seconds,
                 main if main is not None else self.ctx.main_tile,
             )
-            if self.obs is not None:
-                self.obs.metrics.histogram(
-                    "serve.layer_time_ms",
-                    buckets=LAYER_MS_BUCKETS,
-                    help="modelled batched layer GEMM milliseconds",
-                ).observe(b.seconds * 1e3)
+            self._record_pricing(b.seconds)
         elif self.obs is not None:
             self.obs.metrics.counter(
                 "serve.layer_memo_hits",
@@ -125,6 +111,32 @@ class ModelExecutor:
             seconds, _ = self.layer_time(layer, batch)
             total_seconds += seconds
         return total_seconds * 1e3
+
+    def _main_tile_for(
+        self, m: int, n: int, k: int
+    ) -> Optional[Tuple[int, int]]:
+        """Kernel dispatch for one layer GEMM (``None`` = ISA main tile).
+
+        Tuned dispatch keys on the *base* machine: its fingerprint is
+        what the tune cache stored the winners under.
+        """
+        if not self.use_tuned:
+            return None
+        main, _ = tuned_layer_breakdown(self.base_ctx, m, n, k)
+        return main
+
+    def _record_pricing(self, seconds: float) -> None:
+        """The metric side effects of one memo-miss layer pricing."""
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "serve.layer_pricings",
+                help="modelled (layer, batch) GEMM evaluations",
+            ).inc()
+            self.obs.metrics.histogram(
+                "serve.layer_time_ms",
+                buckets=LAYER_MS_BUCKETS,
+                help="modelled batched layer GEMM milliseconds",
+            ).observe(seconds * 1e3)
 
     def layer_records(self) -> List[dict]:
         """Per-layer report rows for every (layer, batch) priced so far."""
@@ -148,3 +160,122 @@ class ModelExecutor:
                 }
             )
         return rows
+
+
+def prewarm_executors(
+    executors: Sequence[ModelExecutor], batches: Sequence[int]
+) -> int:
+    """Price every executor's (layer, batch) grid in one batched sweep.
+
+    The placement search prices the same layer shapes once per
+    (placement, batch-cap) candidate; doing it lazily costs one scalar
+    grid search per (layer, batch) memo miss.  This collects every miss
+    across ``executors`` x ``batches``, scores *all* their candidate
+    jc/ic/pc grids in a single multi-machine
+    :func:`repro.sim.vectorized.batch_gemm_cycles` call (one obs span,
+    ``candidates`` = total rows), then materializes only each winner's
+    partition — the identical tie-break as the scalar search, so the
+    memo entries are bit-identical to lazy pricing.  Returns the number
+    of memo entries filled; a numpy-less interpreter is a no-op (the
+    lazy path still works).
+    """
+    try:
+        import numpy as np
+
+        from repro.sim import vectorized as vec
+    except ImportError:  # pragma: no cover - the CI image always has numpy
+        return 0
+    from repro.blis.params import analytical_tile_params, clamp_tiles
+    from repro.eval.harness import plane_chunk_plans
+    from repro.sim.parallel import candidate_grids, partition_plane
+
+    requests = []  # (ex, key, m, n, k, main, tiles, grids)
+    queued = set()
+    for ex_idx, ex in enumerate(executors):
+        layers = {layer.layer_id: layer for _, layer in ex.instances}
+        for batch in batches:
+            for layer_id, layer in layers.items():
+                key = (layer_id, int(batch))
+                if key in ex._layer_memo or (ex_idx, key) in queued:
+                    continue
+                queued.add((ex_idx, key))
+                m, n, k = layer.batched_dims(int(batch))
+                main = ex._main_tile_for(m, n, k)
+                mr, nr = main if main is not None else ex.ctx.main_tile
+                tiles = clamp_tiles(
+                    analytical_tile_params(mr, nr, ex.ctx.machine), m, n, k
+                )
+                grids = candidate_grids(
+                    ex.threads, m, n, ex.ctx.machine, mr, nr,
+                    k=k, kc=tiles.kc,
+                )
+                requests.append((ex_idx, key, m, n, k, main, tiles, grids))
+    if not requests:
+        return 0
+
+    rows_req = []  # row -> request index
+    cols = {f: [] for f in ("m", "n", "k", "mr", "nr", "kc", "nc",
+                            "jc", "ic", "pc", "machine_idx")}
+    offsets = [0]
+    for ri, (ex_idx, _key, m, n, k, main, tiles, grids) in enumerate(
+        requests
+    ):
+        ex = executors[ex_idx]
+        mr, nr = main if main is not None else ex.ctx.main_tile
+        for jc, ic, pc in grids:
+            rows_req.append(ri)
+            cols["m"].append(m)
+            cols["n"].append(n)
+            cols["k"].append(k)
+            cols["mr"].append(mr)
+            cols["nr"].append(nr)
+            cols["kc"].append(tiles.kc)
+            cols["nc"].append(tiles.nc)
+            cols["jc"].append(jc)
+            cols["ic"].append(ic)
+            cols["pc"].append(pc)
+            cols["machine_idx"].append(ex_idx)
+        offsets.append(len(rows_req))
+
+    plan_memo: Dict[tuple, tuple] = {}
+
+    def source(row: int, m_p: int, n_p: int):
+        ex_idx, _key, _m, _n, _k, main, _tiles, _grids = requests[
+            rows_req[row]
+        ]
+        ex = executors[ex_idx]
+        mr, nr = main if main is not None else ex.ctx.main_tile
+        memo_key = (ex_idx, mr, nr, m_p, n_p)
+        if memo_key not in plan_memo:
+            plan_memo[memo_key] = vec.plan_costs(
+                plane_chunk_plans(ex.ctx, m_p, n_p, mr, nr), ex.ctx.model
+            )
+        return plan_memo[memo_key]
+
+    scored = vec.batch_gemm_cycles(
+        vec.CandidateBatch(
+            machines=tuple(ex.ctx.machine for ex in executors),
+            plan_source=source,
+            kind="grid",
+            **{f: np.asarray(v) for f, v in cols.items()},
+        )
+    )
+    winners = vec.best_grid_indices(scored, offsets)
+    for ri, (ex_idx, key, m, n, k, main, tiles, grids) in enumerate(
+        requests
+    ):
+        ex = executors[ex_idx]
+        mr, nr = main if main is not None else ex.ctx.main_tile
+        jc, ic, pc = grids[winners[ri] - offsets[ri]]
+        partition = partition_plane(
+            m, n, ex.threads, ex.ctx.machine, mr, nr,
+            jc_ways=jc, ic_ways=ic, pc_ways=pc, k=k, kc=tiles.kc,
+        )
+        b = exo_parallel_breakdown(
+            m, n, k, ex.threads, ctx=ex.ctx, main=main, partition=partition
+        )
+        ex._layer_memo[key] = (
+            b.seconds, main if main is not None else ex.ctx.main_tile
+        )
+        ex._record_pricing(b.seconds)
+    return len(requests)

@@ -28,7 +28,7 @@ from repro.sim.parallel import replica_numa_nodes, replica_topology
 from repro.workloads import LayerGemm
 
 from .batcher import BatchPolicy, ServingResult, simulate_serving
-from .executor import Instance, ModelExecutor
+from .executor import Instance, ModelExecutor, prewarm_executors
 from .report import serving_metrics
 from .traffic import Request
 
@@ -202,15 +202,21 @@ def search_configurations(
         raise ValueError(
             f"batch candidates must be >= 1, got {batch_candidates}"
         )
-    outcomes: List[ConfigOutcome] = []
-    for placement in placements:
-        executor = ModelExecutor(
+    executors = [
+        ModelExecutor(
             machine,
             model=model,
             threads=placement.threads_per_replica,
             replicas=placement.replicas,
             use_tuned=use_tuned,
         )
+        for placement in placements
+    ]
+    # price every (placement, batch-cap, layer) memo entry up front in
+    # one vectorized sweep; the simulations below then hit warm memos
+    prewarm_executors(executors, batch_candidates)
+    outcomes: List[ConfigOutcome] = []
+    for placement, executor in zip(placements, executors):
         for max_batch in batch_candidates:
             outcomes.append(
                 evaluate_configuration(

@@ -53,6 +53,20 @@ from .timing import ChunkPlan, TimingModel, plans_compute_cycles
 #: through which per-thread edge/tail kernel selection happens
 PlanBuilder = Callable[[int, int], List[ChunkPlan]]
 
+try:  # NumPy powers the batched grid search; the scalar oracle needs none
+    import numpy  # noqa: F401
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _HAVE_NUMPY = False
+
+#: default grid-search engine: the vectorized batch evaluator
+#: (:mod:`repro.sim.vectorized`) when numpy is importable, else the
+#: scalar loop.  Both rank identically — the vectorized engine is
+#: bit-exact against the scalar oracle (tests/test_vectorized.py) —
+#: so this only changes evaluation throughput, never the winner.
+DEFAULT_SEARCH = "vectorized" if _HAVE_NUMPY else "scalar"
+
 
 # ---------------------------------------------------------------------------
 # Thread partitioner
@@ -333,6 +347,71 @@ def _candidate_partitions(
     ]
 
 
+def _best_partition_vectorized(
+    m: int,
+    n: int,
+    k: int,
+    threads: int,
+    machine: MachineModel,
+    tiles: TileParams,
+    *,
+    plans_for: Callable[[int, int], List[ChunkPlan]],
+    model: TimingModel,
+    dtype_bytes: int,
+    prefetch_c: bool,
+    pin_pc: Optional[int],
+) -> ThreadPartition:
+    """Rank every candidate grid in one batched model evaluation.
+
+    Bit-exact against the scalar ``min`` over
+    :func:`_candidate_partitions`: same candidate order, same wall
+    clocks, same tie-break — so the same grid always wins
+    (cross-checked by ``tests/test_parallel.py``).  Only the winning
+    grid's :class:`ThreadPartition` is materialized.
+    """
+    import numpy as np
+
+    from . import vectorized as _vec
+
+    grids = candidate_grids(
+        threads, m, n, machine, tiles.mr, tiles.nr, k=k, kc=tiles.kc
+    )
+    if pin_pc is not None:
+        grids = [g for g in grids if g[2] == pin_pc]
+        if not grids:
+            raise ValueError(
+                f"no candidate grid has pc_ways={pin_pc} for "
+                f"{threads} threads on k={k} (kc={tiles.kc})"
+            )
+    costs_memo: dict = {}
+
+    def source(_row: int, m_t: int, n_t: int):
+        key = (m_t, n_t)
+        if key not in costs_memo:
+            costs_memo[key] = _vec.plan_costs(plans_for(m_t, n_t), model)
+        return costs_memo[key]
+
+    batch = _vec.CandidateBatch(
+        machines=(machine,),
+        m=m, n=n, k=k,
+        mr=tiles.mr, nr=tiles.nr, kc=tiles.kc, nc=tiles.nc,
+        jc=np.asarray([g[0] for g in grids]),
+        ic=np.asarray([g[1] for g in grids]),
+        pc=np.asarray([g[2] for g in grids]),
+        dtype_bytes=dtype_bytes,
+        plan_source=source,
+        kind="grid",
+        prefetch_c=prefetch_c,
+    )
+    scored = _vec.batch_gemm_cycles(batch, profile=False)
+    winner = _vec.best_grid_indices(scored, (0, len(grids)))[0]
+    jc, ic, pc = grids[winner]
+    return partition_plane(
+        m, n, threads, machine, tiles.mr, tiles.nr,
+        jc_ways=jc, ic_ways=ic, pc_ways=pc, k=k, kc=tiles.kc,
+    )
+
+
 # ---------------------------------------------------------------------------
 # Replica-scoped topology views
 # ---------------------------------------------------------------------------
@@ -517,6 +596,7 @@ def parallel_gemm_breakdown(
     partition: Optional[ThreadPartition] = None,
     dtype_bytes: int = 4,
     pc_ways: Optional[int] = None,
+    search: Optional[str] = None,
 ) -> ParallelBreakdown:
     """Model a GEMM across ``threads`` cores.
 
@@ -556,6 +636,13 @@ def parallel_gemm_breakdown(
     chosen only when it strictly beats every plane-only grid;
     ``pc_ways=1`` pins the plane-only search (the pre-NUMA model,
     cycle-for-cycle).
+
+    ``search`` selects the grid-search engine: ``"vectorized"`` scores
+    every candidate grid in one :func:`repro.sim.vectorized.batch_gemm_cycles`
+    call, ``"scalar"`` runs the original per-partition Python loop (the
+    golden oracle), ``None`` takes :data:`DEFAULT_SEARCH`.  The two are
+    bit-exact — same totals, same tie-breaks, same winner — so the
+    returned breakdown is identical either way.
     """
     if threads < 1:
         raise ValueError(f"threads must be >= 1, got {threads}")
@@ -661,14 +748,30 @@ def parallel_gemm_breakdown(
         )
         return max(busy, dram_limit_for(part))
 
-    if partition is None:
-        partition = min(
-            _candidate_partitions(
-                m, n, k, threads, machine, tiles.mr, tiles.nr, tiles.kc,
-                pin_pc=pc_ways,
-            ),
-            key=lambda p: (wall_clock(p), p.pc_ways, -p.jc_ways, p.ic_ways),
+    if search not in (None, "scalar", "vectorized"):
+        raise ValueError(
+            f"search must be 'scalar', 'vectorized', or None, got {search!r}"
         )
+    engine = search or DEFAULT_SEARCH
+    if partition is None:
+        if engine == "vectorized" and _HAVE_NUMPY and threads > 1:
+            partition = _best_partition_vectorized(
+                m, n, k, threads, machine, tiles,
+                plans_for=plans_for, model=model,
+                dtype_bytes=dtype_bytes, prefetch_c=prefetch_c,
+                pin_pc=pc_ways,
+            )
+        else:
+            partition = min(
+                _candidate_partitions(
+                    m, n, k, threads, machine,
+                    tiles.mr, tiles.nr, tiles.kc,
+                    pin_pc=pc_ways,
+                ),
+                key=lambda p: (
+                    wall_clock(p), p.pc_ways, -p.jc_ways, p.ic_ways
+                ),
+            )
     elif pc_ways is not None and partition.pc_ways != pc_ways:
         raise ValueError(
             f"pinned partition has pc_ways={partition.pc_ways}, "

@@ -31,12 +31,23 @@ from repro.obs import Obs
 from .cache import TuneCache, cache_key, record_from_breakdown
 from .space import TuneJob
 
+try:  # numpy enables the batched (vectorized) evaluation path
+    import numpy  # noqa: F401
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _HAVE_NUMPY = False
+
 #: chunks submitted per worker (per ISA group) — small enough to balance
 #: load across workers, large enough to amortize submission overhead
 CHUNKS_PER_WORKER = 2
 
 _contexts: Dict[str, object] = {}
 _breakdown_calls = 0
+
+#: (isa, mr, nr, m, n) -> PlanCost tuple; plan selection depends only on
+#: the plane and the kernel family, so it is shared across sweeps
+_plan_cost_memo: Dict[Tuple[str, int, int, int, int], tuple] = {}
 
 
 def breakdown_calls() -> int:
@@ -91,6 +102,86 @@ def evaluate_candidate(
     return record_from_breakdown(breakdown)
 
 
+def evaluate_candidates(
+    isa: str, specs: Sequence[Tuple[int, int, int, int, int, int]]
+) -> List[Dict[str, float]]:
+    """Evaluate many ``(mr, nr, m, n, k, threads)`` specs at once.
+
+    Serial (``threads == 1``) specs are scored in **one** vectorized
+    :func:`repro.sim.vectorized.batch_gemm_cycles` call — the records
+    are bit-identical to per-spec :func:`evaluate_candidate` calls
+    (the engine's oracle contract), just orders of magnitude faster
+    per candidate.  Threaded specs, and every spec when numpy is
+    unavailable, fall through to the scalar path.  Records come back
+    in spec order, ready for per-candidate cache keys.
+    """
+    global _breakdown_calls
+    if not _HAVE_NUMPY:
+        return [evaluate_candidate(isa, *spec) for spec in specs]
+    results: List[Optional[Dict[str, float]]] = [None] * len(specs)
+    serial = []
+    for i, spec in enumerate(specs):
+        if spec[5] == 1:
+            serial.append(i)
+        else:
+            results[i] = evaluate_candidate(isa, *spec)
+    if not serial:
+        return results
+
+    from repro.blis.params import analytical_tile_params, clamp_tiles
+    from repro.eval.harness import plane_chunk_plans
+    from repro.sim import vectorized as vec
+
+    ctx = _context_for(isa)
+    machine = ctx.machine
+    tile_memo: Dict[Tuple[int, int], object] = {}
+    rows = []
+    for i in serial:
+        mr, nr, m, n, k, _ = specs[i]
+        if (mr, nr) not in tile_memo:
+            tile_memo[(mr, nr)] = analytical_tile_params(mr, nr, machine)
+        tiles = clamp_tiles(tile_memo[(mr, nr)], m, n, k)
+        rows.append((mr, nr, m, n, k, tiles.kc, tiles.nc))
+
+    def source(row: int, m_p: int, n_p: int):
+        mr, nr = rows[row][0], rows[row][1]
+        key = (isa, mr, nr, m_p, n_p)
+        if key not in _plan_cost_memo:
+            _plan_cost_memo[key] = vec.plan_costs(
+                plane_chunk_plans(ctx, m_p, n_p, mr, nr), ctx.model
+            )
+        return _plan_cost_memo[key]
+
+    batch = vec.CandidateBatch(
+        machines=(machine,),
+        m=[r[2] for r in rows],
+        n=[r[3] for r in rows],
+        k=[r[4] for r in rows],
+        mr=[r[0] for r in rows],
+        nr=[r[1] for r in rows],
+        kc=[r[5] for r in rows],
+        nc=[r[6] for r in rows],
+        plan_source=source,
+        kind="serial",
+    )
+    scored = vec.batch_gemm_cycles(batch)
+    _breakdown_calls += len(serial)
+    freq = machine.freq_ghz
+    for pos, i in enumerate(serial):
+        # json can't serialize numpy scalars, so cast each component
+        results[i] = {
+            "compute_cycles": float(scored.compute_cycles[pos]),
+            "pack_cycles": float(scored.pack_cycles[pos]),
+            "c_stall_cycles": float(scored.c_stall_cycles[pos]),
+            "dram_limit_cycles": float(scored.dram_limit_cycles[pos]),
+            "flops": int(scored.flops[pos]),
+            "freq_ghz": freq,
+            "total_cycles": float(scored.total_cycles[pos]),
+            "gflops": float(scored.gflops[pos]),
+        }
+    return results
+
+
 def _evaluate_chunk(
     isa: str, tiles: Sequence[Tuple[int, int, int, int, int, int]]
 ) -> Tuple[float, List[Dict[str, float]]]:
@@ -100,7 +191,7 @@ def _evaluate_chunk(
     time (and so utilization) without clock skew between processes.
     """
     t0 = time.perf_counter()
-    records = [evaluate_candidate(isa, *spec) for spec in tiles]
+    records = evaluate_candidates(isa, tiles)
     return time.perf_counter() - t0, records
 
 
@@ -131,9 +222,12 @@ def run_jobs(
     serially in-process (``workers <= 1``) or across a process pool, and
     their records are persisted back to the cache before returning.
 
-    ``obs`` instruments the run: per-job spans (serial) or per-chunk
-    spans (parallel, one trace track per chunk, placed by the worker's
-    self-reported busy time), job counters, and — for pool runs — a
+    Both paths evaluate whole chunks at a time through
+    :func:`evaluate_candidates` — serial jobs ride the vectorized
+    batch engine — and ``obs`` instruments the run with per-chunk
+    spans (one ``chunk <isa>`` span carrying the job count; parallel
+    runs place one trace track per chunk by the worker's self-reported
+    busy time), job counters, and — for pool runs — a
     ``tune.worker_utilization`` gauge (aggregate worker busy seconds
     over ``workers x`` pool wall seconds).
     """
@@ -221,29 +315,36 @@ def run_jobs(
                 help="worker busy seconds / (workers x pool wall seconds)",
             ).set(min(1.0, busy_s / (workers * wall_s)) if wall_s else 0.0)
     else:
+        # group by ISA so each group becomes one batched evaluation,
+        # preserving job order within the group (and overall, since
+        # results are written back by index)
+        groups: Dict[str, List[int]] = {}
         for i in pending:
-            job = jobs[i]
+            groups.setdefault(jobs[i].isa, []).append(i)
+        for isa, indices in groups.items():
             if obs is not None and obs.tracer.enabled:
                 span = obs.tracer.span(
-                    f"job {job.isa} {job.m}x{job.n}x{job.k}",
-                    cat="tune",
-                    args={
-                        "tile": f"{job.mr}x{job.nr}",
-                        "threads": job.threads,
-                    },
+                    f"chunk {isa}", cat="tune", args={"jobs": len(indices)}
                 )
             else:
                 span = None
             with span if span is not None else nullcontext():
-                results[i] = evaluate_candidate(
-                    job.isa,
-                    job.mr,
-                    job.nr,
-                    job.m,
-                    job.n,
-                    job.k,
-                    threads=job.threads,
+                records = evaluate_candidates(
+                    isa,
+                    [
+                        (
+                            jobs[i].mr,
+                            jobs[i].nr,
+                            jobs[i].m,
+                            jobs[i].n,
+                            jobs[i].k,
+                            jobs[i].threads,
+                        )
+                        for i in indices
+                    ],
                 )
-            if cache is not None:
-                cache.put(keys[i], results[i])
+            for i, record in zip(indices, records):
+                results[i] = record
+                if cache is not None:
+                    cache.put(keys[i], record)
     return results

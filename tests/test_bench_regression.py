@@ -1,0 +1,185 @@
+"""The CI perf-regression gate (benchmarks/check_regression.py).
+
+The checker compares the bench JSON a run writes to ``out/bench/``
+against the committed floors in ``benchmarks/baselines/`` — these
+tests drive it as a library and through ``main()`` the way the CI job
+invokes it, including the deliberately-broken-baseline case that must
+fail.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression",
+    Path(__file__).resolve().parent.parent
+    / "benchmarks"
+    / "check_regression.py",
+)
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def record(metric, value, name="test_bench", machine="carmel",
+           isa="neon", threads=1):
+    return {
+        "name": name,
+        "machine": machine,
+        "isa": isa,
+        "threads": threads,
+        "metric": metric,
+        "value": value,
+    }
+
+
+def write_bench(directory, records, stem="demo"):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"BENCH_{stem}.json").write_text(json.dumps(records))
+
+
+class TestDirection:
+    def test_rates_are_higher_is_better(self):
+        assert not check_regression.lower_is_better("candidates_per_sec")
+        assert not check_regression.lower_is_better("square2000_gflops")
+        assert not check_regression.lower_is_better("vectorized_speedup_x")
+
+    @pytest.mark.parametrize(
+        "metric", ["p99_ms", "latency_us", "build_seconds"]
+    )
+    def test_latencies_are_lower_is_better(self, metric):
+        assert check_regression.lower_is_better(metric)
+
+
+class TestCompare:
+    def key(self, metric):
+        return ("test_bench", "carmel", "neon", 1, metric)
+
+    def test_within_tolerance_passes(self):
+        base = {self.key("rate"): 100.0}
+        assert check_regression.compare(
+            {self.key("rate"): 85.0}, base, 0.2
+        ) == []
+
+    def test_higher_is_better_regression_fails(self):
+        base = {self.key("rate"): 100.0}
+        problems = check_regression.compare(
+            {self.key("rate"): 79.0}, base, 0.2
+        )
+        assert len(problems) == 1 and "REGRESSION" in problems[0]
+
+    def test_lower_is_better_regression_fails(self):
+        base = {self.key("p99_ms"): 10.0}
+        assert check_regression.compare(
+            {self.key("p99_ms"): 9.0}, base, 0.2
+        ) == []
+        problems = check_regression.compare(
+            {self.key("p99_ms"): 12.5}, base, 0.2
+        )
+        assert len(problems) == 1 and "REGRESSION" in problems[0]
+
+    def test_improvement_never_fails(self):
+        base = {self.key("rate"): 100.0, self.key("p99_ms"): 10.0}
+        current = {self.key("rate"): 500.0, self.key("p99_ms"): 1.0}
+        assert check_regression.compare(current, base, 0.2) == []
+
+    def test_baselined_metric_missing_from_current_fails(self):
+        base = {self.key("rate"): 100.0}
+        problems = check_regression.compare({}, base, 0.2)
+        assert len(problems) == 1 and "MISSING" in problems[0]
+
+    def test_current_only_metrics_are_fine(self):
+        base = {self.key("rate"): 100.0}
+        current = {self.key("rate"): 100.0, self.key("new_metric"): 1.0}
+        assert check_regression.compare(current, base, 0.2) == []
+
+    def test_records_match_on_full_key(self):
+        base = {("test_bench", "carmel", "neon", 1, "rate"): 100.0}
+        current = {("test_bench", "carmel", "neon", 8, "rate"): 100.0}
+        problems = check_regression.compare(current, base, 0.2)
+        assert len(problems) == 1 and "MISSING" in problems[0]
+
+
+class TestMain:
+    def run(self, tmp_path, current, baselines, tolerance=0.2):
+        cur, base = tmp_path / "current", tmp_path / "baselines"
+        write_bench(cur, current)
+        write_bench(base, baselines)
+        return check_regression.main(
+            [
+                "--current", str(cur),
+                "--baselines", str(base),
+                "--tolerance", str(tolerance),
+            ]
+        )
+
+    def test_passing_run_exits_zero(self, tmp_path, capsys):
+        rc = self.run(
+            tmp_path, [record("rate", 95.0)], [record("rate", 100.0)]
+        )
+        assert rc == 0
+        assert "within 20%" in capsys.readouterr().out
+
+    def test_deliberately_broken_baseline_fails(self, tmp_path, capsys):
+        # the ISSUE-7 acceptance check: an impossible floor must trip
+        rc = self.run(
+            tmp_path, [record("rate", 95.0)], [record("rate", 1e9)]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_missing_benchmark_fails(self, tmp_path):
+        rc = self.run(
+            tmp_path, [record("other", 1.0)], [record("rate", 100.0)]
+        )
+        assert rc == 1
+
+    def test_no_baselines_is_an_error(self, tmp_path):
+        cur = tmp_path / "current"
+        write_bench(cur, [record("rate", 1.0)])
+        rc = check_regression.main(
+            [
+                "--current", str(cur),
+                "--baselines", str(tmp_path / "nothing"),
+            ]
+        )
+        assert rc == 1
+
+    def test_missing_current_directory_is_an_error(self, tmp_path):
+        base = tmp_path / "baselines"
+        write_bench(base, [record("rate", 1.0)])
+        rc = check_regression.main(
+            [
+                "--current", str(tmp_path / "nothing"),
+                "--baselines", str(base),
+            ]
+        )
+        assert rc == 1
+
+
+class TestCommittedBaselines:
+    """The repo's committed floors stay loadable and conservative."""
+
+    BASELINES = Path(__file__).resolve().parent.parent / (
+        "benchmarks/baselines"
+    )
+
+    def test_baselines_load(self):
+        records = check_regression.load_records(self.BASELINES)
+        assert records, "no committed baselines found"
+        for (_, _, _, _, metric), value in records.items():
+            assert value > 0, f"degenerate baseline for {metric}"
+
+    def test_speedup_floor_gates_the_100x_target(self):
+        records = check_regression.load_records(self.BASELINES)
+        speedups = {
+            key: value
+            for key, value in records.items()
+            if key[4] == "vectorized_speedup_x"
+        }
+        assert speedups, "speedup baseline missing"
+        for value in speedups.values():
+            # floor * (1 - tolerance) must still enforce >= 100x
+            assert value * 0.8 >= 100.0

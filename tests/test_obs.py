@@ -427,7 +427,7 @@ class TestTuneCliObs:
             (tmp_path / "tune.trace.json").read_text()
         )["traceEvents"]
         assert any(e["name"] == "sweep" for e in events)
-        assert any(e["name"].startswith("job neon") for e in events)
+        assert any(e["name"].startswith("chunk neon") for e in events)
         snap = json.loads((tmp_path / "tune.metrics.json").read_text())
         assert snap["tune.jobs_total"]["value"] > 0
         assert snap["tune.cache_misses"]["value"] > 0

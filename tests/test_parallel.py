@@ -347,6 +347,61 @@ class TestGoldenParity:
 
 
 # ---------------------------------------------------------------------------
+# Vectorized vs scalar grid search
+# ---------------------------------------------------------------------------
+
+
+class TestSearchEngineParity:
+    """The batched grid search is a drop-in for the scalar loop.
+
+    ``search="vectorized"`` (the default when numpy is present) must
+    pick the *identical* winning jc x ic x pc grid as the original
+    scalar ``min`` over partitions — same partition label, same
+    components, exact equality — on every registered machine,
+    including the NUMA ones whose searches exercise the pc split and
+    socket-spanning DRAM terms.
+    """
+
+    @pytest.mark.parametrize("machine_name", sorted(MACHINES))
+    @pytest.mark.parametrize(
+        "shape", [(2000, 2000, 2000), (500, 300, 700), (64, 2000, 3000)]
+    )
+    def test_same_winner_on_every_machine(self, machine_name, shape):
+        from repro.eval.harness import (
+            exo_parallel_breakdown,
+            machine_context,
+        )
+
+        machine = MACHINES[machine_name]
+        ctx = machine_context(machine)
+        m, n, k = shape
+        for threads in (2, machine.cores, 2 * machine.cores):
+            scalar = exo_parallel_breakdown(
+                m, n, k, threads, ctx=ctx, search="scalar"
+            )
+            vectorized = exo_parallel_breakdown(
+                m, n, k, threads, ctx=ctx, search="vectorized"
+            )
+            assert (
+                vectorized.jc_ways,
+                vectorized.ic_ways,
+                vectorized.pc_ways,
+            ) == (scalar.jc_ways, scalar.ic_ways, scalar.pc_ways)
+            assert vectorized.partition_label == scalar.partition_label
+            assert vectorized.total_cycles == scalar.total_cycles
+            assert vectorized.compute_cycles == scalar.compute_cycles
+            assert vectorized.pack_cycles == scalar.pack_cycles
+            assert vectorized.c_stall_cycles == scalar.c_stall_cycles
+            assert vectorized.reduction_cycles == scalar.reduction_cycles
+            assert (
+                vectorized.dram_limit_cycles == scalar.dram_limit_cycles
+            )
+            assert (
+                vectorized.thread_busy_cycles == scalar.thread_busy_cycles
+            )
+
+
+# ---------------------------------------------------------------------------
 # pc-loop reduction partition
 # ---------------------------------------------------------------------------
 
