@@ -1,0 +1,110 @@
+"""Traffic-generator and live-plane throughput benchmarks.
+
+The serving docs promise O(requests) trace generation — million-request
+traces in seconds — and a live plane whose virtual-time simulation is
+fast enough to replay heavy traffic in CI.  This module pins both
+rates: MMPP and diurnal generation at one million requests, and the
+end-to-end live plane (admission, queueing, batch forming, virtual
+timeline) on a mock controller at thousands of requests per run.
+"""
+
+from __future__ import annotations
+
+from repro.isa.machine import CARMEL
+from repro.serve import (
+    MockController,
+    PoolSpec,
+    ServePlane,
+    VirtualTimeline,
+    diurnal_trace,
+    mmpp_trace,
+    run_trace,
+)
+from repro.serve.admission import AdmissionPolicy
+
+#: one million requests: rates x duration chosen so the mean offered
+#: load across MMPP states / the diurnal cycle lands on ~1e6 arrivals
+MILLION_MS = 1_000_000.0 / 2_000.0 * 1_000.0  # 2000 rps mean for 500 s
+
+
+def test_mmpp_generation_rate(benchmark):
+    trace = benchmark(
+        mmpp_trace,
+        rates_rps=(1000.0, 3000.0),
+        mean_dwell_ms=250.0,
+        duration_ms=MILLION_MS,
+        seed=7,
+    )
+    n = len(trace)
+    assert n > 500_000, f"expected ~1e6 requests, drew {n}"
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=1,
+        metric="mmpp_requests",
+        value=float(n),
+    )
+    print(f"\n  mmpp drew {n} requests over {MILLION_MS / 1e3:.0f} s")
+
+
+def test_diurnal_generation_rate(benchmark):
+    trace = benchmark(
+        diurnal_trace,
+        base_rps=500.0,
+        peak_rps=3500.0,
+        duration_ms=MILLION_MS,
+        period_ms=60_000.0,
+        seed=7,
+    )
+    n = len(trace)
+    assert n > 500_000, f"expected ~1e6 requests, drew {n}"
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=1,
+        metric="diurnal_requests",
+        value=float(n),
+    )
+    print(f"\n  diurnal drew {n} requests over {MILLION_MS / 1e3:.0f} s")
+
+
+def test_live_plane_sim_throughput(benchmark):
+    """Virtual-time replay rate of the full admission + batching path."""
+    trace = mmpp_trace(
+        rates_rps=(200.0, 800.0),
+        mean_dwell_ms=300.0,
+        duration_ms=10_000.0,
+        seed=3,
+    )
+    arrivals = [("resnet50", r) for r in trace]
+
+    def run():
+        timeline = VirtualTimeline()
+        plane = ServePlane(
+            CARMEL,
+            [PoolSpec("resnet50", replicas=2, threads=4)],
+            timeline=timeline,
+            controller="mock",
+            admission=AdmissionPolicy(max_queue_depth=64),
+            mock_service_ms=1.0,
+        )
+        for pool in plane.pools.values():
+            pool.controller = MockController(
+                timeline, base_ms=2.0, per_item_ms=0.5
+            )
+        return run_trace(plane, arrivals)
+
+    result = benchmark(run)
+    assert result.arrived == len(arrivals)
+    assert len(result.served) + len(result.shed) == result.arrived
+    benchmark.extra_info.update(
+        machine="carmel",
+        isa="neon",
+        threads=4,
+        metric="live_sim_requests",
+        value=float(result.arrived),
+    )
+    print(
+        f"\n  live sim replayed {result.arrived} requests "
+        f"({len(result.served)} served, {len(result.shed)} shed)"
+    )

@@ -57,6 +57,7 @@ class ServedRequest:
 
     @property
     def latency_ms(self) -> float:
+        """Arrival-to-completion latency."""
         return self.completion_ms - self.request.arrival_ms
 
 
@@ -79,6 +80,7 @@ class ServingResult:
 
     @property
     def latencies_ms(self) -> List[float]:
+        """Per-request latencies in served order."""
         return [s.latency_ms for s in self.served]
 
     @property
@@ -92,6 +94,7 @@ class ServingResult:
 
     @property
     def throughput_rps(self) -> float:
+        """Served requests per second over the makespan."""
         span = self.makespan_ms
         if span <= 0:
             return 0.0
@@ -99,6 +102,7 @@ class ServingResult:
 
     @property
     def mean_batch(self) -> float:
+        """Average dispatched batch size."""
         if not self.batches:
             return 0.0
         return len(self.served) / len(self.batches)

@@ -1,0 +1,130 @@
+"""Pluggable executor controllers: the real / sim / mock pattern.
+
+A controller is the thing a replica pool hands a formed batch to; its
+single job is to *take the time the batch takes* on its timeline and
+report the service milliseconds.  Three implementations share the
+interface, so the whole plane — admission, queueing, batching, report —
+runs identically against any of them:
+
+* :class:`SimController` prices the batch with the exact batched
+  threaded cost model (:class:`repro.serve.executor.ModelExecutor`) and
+  advances the **virtual** timeline by that amount — the plane becomes
+  a byte-deterministic discrete-event simulation, testable without
+  hardware.
+* :class:`RealController` prices with the same model but waits the
+  service time out in **wall** time (``asyncio`` sleep), pacing a live
+  HTTP deployment to the hardware the model describes.
+* :class:`MockController` returns scripted constant-plus-linear service
+  times — the unit-test double, with no model in the loop.
+
+``controller_for`` builds one from its CLI name.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .executor import ModelExecutor
+
+#: the CLI names of the available controller kinds
+CONTROLLER_KINDS = ("sim", "real", "mock")
+
+
+class Controller:
+    """The executor-controller interface a replica pool drives."""
+
+    kind = "abstract"
+
+    def __init__(self, timeline):
+        """Bind the controller to the timeline it advances."""
+        self.timeline = timeline
+
+    def service_estimate_ms(self, batch: int) -> float:
+        """Predicted service milliseconds of a size-``batch`` dispatch.
+
+        Admission control uses this estimate to project queue drain
+        times; for model-backed controllers it is exact.
+        """
+        raise NotImplementedError
+
+    async def execute(self, batch: int) -> float:
+        """Run one batch: occupy the timeline, return the service ms."""
+        service_ms = self.service_estimate_ms(batch)
+        await self.timeline.sleep_until(self.timeline.now_ms() + service_ms)
+        return service_ms
+
+
+class SimController(Controller):
+    """Virtual-time execution priced by the batched threaded cost model."""
+
+    kind = "sim"
+
+    def __init__(self, timeline, executor: ModelExecutor):
+        """Wrap ``executor`` (one replica's model view) on ``timeline``."""
+        super().__init__(timeline)
+        self.executor = executor
+
+    def service_estimate_ms(self, batch: int) -> float:
+        """The exact modelled milliseconds of one batched forward pass."""
+        return self.executor.batch_time_ms(batch)
+
+
+class RealController(SimController):
+    """Wall-time execution paced to the same model.
+
+    Identical pricing to :class:`SimController`; the base-class
+    ``execute`` waits the service time out on the wall timeline, so a
+    live HTTP front door exhibits the latency the model predicts for
+    the target machine — the stand-in for dispatching to hardware.
+    """
+
+    kind = "real"
+
+
+class MockController(Controller):
+    """Scripted service times for tests: ``base + per_item * batch``."""
+
+    kind = "mock"
+
+    def __init__(
+        self, timeline, base_ms: float = 1.0, per_item_ms: float = 0.0
+    ):
+        """Serve every batch in ``base_ms + per_item_ms * batch``."""
+        super().__init__(timeline)
+        if base_ms <= 0 and per_item_ms <= 0:
+            raise ValueError(
+                "mock service time must be positive: got "
+                f"base_ms={base_ms}, per_item_ms={per_item_ms}"
+            )
+        self.base_ms = base_ms
+        self.per_item_ms = per_item_ms
+
+    def service_estimate_ms(self, batch: int) -> float:
+        """The scripted affine service time."""
+        return self.base_ms + self.per_item_ms * batch
+
+
+def controller_for(
+    name: str,
+    timeline,
+    executor: Optional[ModelExecutor] = None,
+    mock_service_ms: float = 1.0,
+) -> Controller:
+    """Build a controller from its CLI name.
+
+    ``sim`` and ``real`` need the pool's :class:`ModelExecutor`;
+    ``mock`` takes its base service time from ``mock_service_ms``.
+    """
+    if name == "sim":
+        if executor is None:
+            raise ValueError("sim controller needs a ModelExecutor")
+        return SimController(timeline, executor)
+    if name == "real":
+        if executor is None:
+            raise ValueError("real controller needs a ModelExecutor")
+        return RealController(timeline, executor)
+    if name == "mock":
+        return MockController(timeline, base_ms=mock_service_ms)
+    raise ValueError(
+        f"unknown controller {name!r}; known: {', '.join(CONTROLLER_KINDS)}"
+    )

@@ -42,6 +42,7 @@ class Placement:
 
     @property
     def cores_used(self) -> int:
+        """Cores this placement occupies."""
         return self.replicas * self.threads_per_replica
 
     def core_assignment(self) -> Tuple[Tuple[int, ...], ...]:
@@ -61,6 +62,7 @@ class Placement:
 
     @property
     def label(self) -> str:
+        """Short ``RrxTt`` spelling for reports."""
         return f"{self.replicas}rx{self.threads_per_replica}t"
 
 
@@ -125,9 +127,11 @@ class ConfigOutcome:
 
     @property
     def label(self) -> str:
+        """Short ``RrxTtxbB`` spelling for reports."""
         return f"{self.placement.label}xb{self.policy.max_batch}"
 
     def meets_slo(self, slo_p99_ms: float) -> bool:
+        """Whether this configuration's p99 is within the SLO."""
         return self.metrics["p99_ms"] <= slo_p99_ms
 
 

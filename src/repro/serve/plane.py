@@ -1,0 +1,864 @@
+"""The live asyncio request plane: admission, pools, batching, HTTP.
+
+This is the running service the offline planner was modelling.  One
+:class:`ServePlane` owns per-model replica pools; every request —
+injected from an arrival trace or received on the HTTP front door —
+passes the same path:
+
+.. code-block:: text
+
+    submit -> admission gate -> pool queue -> batch former -> controller
+       |           |                                             |
+       |           +-- shed (429, counted per reason)            |
+       +------------------- response future <- completion -------+
+
+The plane is written against the timeline interface
+(:mod:`repro.serve.timeline`), so the identical code serves real
+traffic on the wall clock (``real`` controller) or runs as a
+byte-deterministic discrete-event simulation on the virtual clock
+(``sim`` controller) — the property the determinism tests and the CI
+smoke gate pin down.  Batch forming follows the offline batcher's
+max-batch/max-wait rule exactly: with admission disabled, a sim-mode
+run reproduces :func:`repro.serve.batcher.simulate_serving` record for
+record.
+
+Request lifecycle spans, queue-depth series, and shed/admit counters
+land in :mod:`repro.obs` when a bundle is attached; the shed counters
+are the observable signature of an infeasible SLO.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.machine import MachineModel
+from repro.obs import Obs
+
+from .admission import AdmissionPolicy, estimated_latency_ms
+from .batcher import LATENCY_BUCKETS_MS
+from .controllers import Controller, controller_for
+from .executor import ModelExecutor, prewarm_executors
+from .timeline import DEADLINE, VirtualTimeline
+from .traffic import Request
+
+#: HTTP reason phrases the front door emits
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """One model's replica pool: capacity and batching policy."""
+
+    model: str
+    replicas: int
+    threads: int
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self):
+        """Validate pool shape."""
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+
+    @property
+    def cores_used(self) -> int:
+        """Cores this pool occupies."""
+        return self.replicas * self.threads
+
+    def describe(self) -> dict:
+        """The report block for this pool."""
+        return {
+            "model": self.model,
+            "replicas": self.replicas,
+            "threads": self.threads,
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "cores_used": self.cores_used,
+        }
+
+
+@dataclass(frozen=True)
+class LiveServed:
+    """One admitted request's completed journey through the plane."""
+
+    request_id: int
+    model: str
+    replica: int
+    batch_size: int
+    arrival_ms: float
+    dispatch_ms: float
+    completion_ms: float
+
+    @property
+    def latency_ms(self) -> float:
+        """Arrival-to-completion latency."""
+        return self.completion_ms - self.arrival_ms
+
+
+@dataclass(frozen=True)
+class SheddedRequest:
+    """One request rejected at the door, and why."""
+
+    request_id: int
+    model: str
+    arrival_ms: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class LiveBatch:
+    """One dispatched batch on one replica."""
+
+    model: str
+    replica: int
+    size: int
+    dispatch_ms: float
+    service_ms: float
+
+
+class _QueuedRequest:
+    """A queued arrival and the future its response resolves."""
+
+    __slots__ = ("request_id", "arrival_ms", "future")
+
+    def __init__(self, request_id: int, arrival_ms: float, future):
+        self.request_id = request_id
+        self.arrival_ms = arrival_ms
+        self.future = future
+
+
+class ReplicaPool:
+    """One model's servers: a queue, R replicas, and the batch former.
+
+    The dispatch loop mirrors the offline batcher: take the head of the
+    queue, acquire the lowest-index free replica, hold the batch open
+    until it fills to ``max_batch`` or the head has waited
+    ``max_wait_ms`` (a replica that frees up later dispatches
+    immediately), then hand it to the controller.
+    """
+
+    def __init__(
+        self,
+        spec: PoolSpec,
+        controller: Controller,
+        timeline,
+        obs: Optional[Obs] = None,
+        track_base: int = 0,
+    ):
+        """Bind the pool to its controller, timeline, and trace tracks."""
+        self.spec = spec
+        self.controller = controller
+        self.timeline = timeline
+        self.obs = obs
+        self.track_base = track_base  # queue track; replica r is base+1+r
+        self.queue: Deque[_QueuedRequest] = deque()
+        self.free: List[int] = list(range(spec.replicas))
+        self.in_flight = 0
+        self.closing = False
+        self.served: List[LiveServed] = []
+        self.batches: List[LiveBatch] = []
+        self._queue_wake = None
+        self._replica_wake = None
+        self._drain_wake = None
+        self._dispatcher = None
+        self._outstanding = 0  # batches spawned but not finished
+
+    # -- admission inputs ---------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Undispatched requests currently queued."""
+        return len(self.queue)
+
+    def estimated_latency_ms(self, queued: int) -> float:
+        """Projected latency of the last of ``queued`` pending requests."""
+        return estimated_latency_ms(
+            queued,
+            self.spec.replicas,
+            self.in_flight,
+            self.spec.max_batch,
+            self.controller.service_estimate_ms(self.spec.max_batch),
+        )
+
+    # -- the request path ---------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the dispatch loop."""
+        self._dispatcher = self.timeline.spawn(self._dispatch_loop())
+
+    def submit(self, item: _QueuedRequest) -> None:
+        """Enqueue one admitted arrival and wake the dispatcher."""
+        self.queue.append(item)
+        self._emit_queue_depth()
+        if self._queue_wake is not None:
+            wake, self._queue_wake = self._queue_wake, None
+            self.timeline.fire(wake, "queued")
+
+    async def close(self) -> None:
+        """Drain and stop: callers must have awaited every response."""
+        self.closing = True
+        if self._queue_wake is not None:
+            wake, self._queue_wake = self._queue_wake, None
+            self.timeline.fire(wake, "closing")
+        if self._dispatcher is not None:
+            await self.timeline.join(self._dispatcher)
+        while self._outstanding:
+            self._drain_wake = wake = self.timeline.create_future()
+            await self.timeline.wait(wake)
+            if self._drain_wake is wake:
+                self._drain_wake = None
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            while not self.queue and not self.closing:
+                self._queue_wake = wake = self.timeline.create_future()
+                await self.timeline.wait(wake)
+                if self._queue_wake is wake:
+                    self._queue_wake = None
+            if not self.queue:
+                return  # closing, fully drained
+            replica = await self._acquire_replica()
+            head = self.queue[0]
+            close_ms = head.arrival_ms + self.spec.max_wait_ms
+            while (
+                len(self.queue) < self.spec.max_batch
+                and self.timeline.now_ms() < close_ms
+            ):
+                self._queue_wake = wake = self.timeline.create_future()
+                fired = await self.timeline.wait_or_deadline(wake, close_ms)
+                if self._queue_wake is wake:
+                    self._queue_wake = None
+                if fired is DEADLINE:
+                    break
+            size = min(self.spec.max_batch, len(self.queue))
+            items = [self.queue.popleft() for _ in range(size)]
+            self._emit_queue_depth()
+            self.in_flight += 1
+            self._outstanding += 1
+            self.timeline.spawn(self._run_batch(replica, items))
+
+    async def _acquire_replica(self) -> int:
+        while not self.free:
+            self._replica_wake = wake = self.timeline.create_future()
+            await self.timeline.wait(wake)
+            if self._replica_wake is wake:
+                self._replica_wake = None
+        self.free.sort()
+        return self.free.pop(0)
+
+    def _release_replica(self, replica: int) -> None:
+        self.free.append(replica)
+        if self._replica_wake is not None:
+            wake, self._replica_wake = self._replica_wake, None
+            self.timeline.fire(wake, replica)
+
+    async def _run_batch(
+        self, replica: int, items: List[_QueuedRequest]
+    ) -> None:
+        dispatch_ms = self.timeline.now_ms()
+        service_ms = await self.controller.execute(len(items))
+        completion_ms = self.timeline.now_ms()
+        batch = LiveBatch(
+            model=self.spec.model,
+            replica=replica,
+            size=len(items),
+            dispatch_ms=dispatch_ms,
+            service_ms=service_ms,
+        )
+        self.batches.append(batch)
+        for item in items:
+            record = LiveServed(
+                request_id=item.request_id,
+                model=self.spec.model,
+                replica=replica,
+                batch_size=len(items),
+                arrival_ms=item.arrival_ms,
+                dispatch_ms=dispatch_ms,
+                completion_ms=completion_ms,
+            )
+            self.served.append(record)
+            self.timeline.fire(item.future, record)
+        self.in_flight -= 1
+        self._release_replica(replica)
+        self._emit_batch_obs(batch, items, completion_ms)
+        self._outstanding -= 1
+        if self._drain_wake is not None and self._outstanding == 0:
+            wake, self._drain_wake = self._drain_wake, None
+            self.timeline.fire(wake, "drained")
+
+    # -- observability ------------------------------------------------
+
+    def _emit_queue_depth(self) -> None:
+        if self.obs is None or not self.obs.tracer.enabled:
+            return
+        self.obs.tracer.counter(
+            f"queue_depth_{self.spec.model}",
+            len(self.queue),
+            ts_us=self.timeline.now_ms() * 1e3,
+            tid=self.track_base,
+        )
+
+    def _emit_batch_obs(
+        self,
+        batch: LiveBatch,
+        items: List[_QueuedRequest],
+        completion_ms: float,
+    ) -> None:
+        if self.obs is None:
+            return
+        metrics = self.obs.metrics
+        metrics.counter(
+            "serve.live.completed", help="requests completed by the plane"
+        ).inc(len(items))
+        metrics.histogram(
+            "serve.live.batch_size",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+            help="live dispatched batch sizes",
+        ).observe(batch.size)
+        latency = metrics.histogram(
+            "serve.live.latency_ms",
+            buckets=LATENCY_BUCKETS_MS,
+            help="live request latency, arrival to completion",
+        )
+        for item in items:
+            latency.observe(completion_ms - item.arrival_ms)
+        tracer = self.obs.tracer
+        if not tracer.enabled:
+            return
+        scale = 1e3  # plane milliseconds -> trace microseconds
+        replica_track = self.track_base + 1 + batch.replica
+        tracer.complete(
+            "batch",
+            ts_us=batch.dispatch_ms * scale,
+            dur_us=batch.service_ms * scale,
+            tid=replica_track,
+            cat="batch",
+            args={"size": batch.size, "service_ms": batch.service_ms},
+        )
+        for item in items:
+            args = {"request_id": item.request_id}
+            tracer.complete(
+                "queued",
+                ts_us=item.arrival_ms * scale,
+                dur_us=(batch.dispatch_ms - item.arrival_ms) * scale,
+                tid=self.track_base,
+                cat="request",
+                args={**args, "batch_size": batch.size},
+            )
+            tracer.instant(
+                "complete",
+                ts_us=completion_ms * scale,
+                tid=replica_track,
+                args=args,
+            )
+
+
+class ServePlane:
+    """Per-model replica pools behind one admission gate.
+
+    Construct, :meth:`start`, feed arrivals through :meth:`submit` (or
+    the HTTP front door / :func:`run_trace`), await the returned
+    response futures, then :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        pools: Sequence[PoolSpec],
+        timeline,
+        controller: str = "sim",
+        admission: AdmissionPolicy = AdmissionPolicy(),
+        use_tuned: bool = False,
+        obs: Optional[Obs] = None,
+        mock_service_ms: float = 1.0,
+    ):
+        """Build pools, controllers, and executors on ``machine``."""
+        if not pools:
+            raise ValueError("the plane needs at least one pool")
+        models = [spec.model for spec in pools]
+        if len(set(models)) != len(models):
+            raise ValueError(f"duplicate pool models: {models}")
+        cores_used = sum(spec.cores_used for spec in pools)
+        if cores_used > machine.cores:
+            raise ValueError(
+                f"pools use {cores_used} cores but {machine.name} has "
+                f"{machine.cores} — shrink replicas x threads"
+            )
+        self.machine = machine
+        self.timeline = timeline
+        self.controller_kind = controller
+        self.admission = admission
+        self.obs = obs
+        self.pools: Dict[str, ReplicaPool] = {}
+        total_replicas = sum(spec.replicas for spec in pools)
+        executors = []
+        track_base = 0
+        for spec in pools:
+            executor = None
+            if controller in ("sim", "real"):
+                # every pool's replicas share the socket's bandwidth:
+                # price each against the fleet-wide replica count
+                executor = ModelExecutor(
+                    machine,
+                    model=spec.model,
+                    threads=spec.threads,
+                    replicas=total_replicas,
+                    use_tuned=use_tuned,
+                )
+                executors.append((executor, spec.max_batch))
+            ctrl = controller_for(
+                controller,
+                timeline,
+                executor=executor,
+                mock_service_ms=mock_service_ms,
+            )
+            self.pools[spec.model] = ReplicaPool(
+                spec, ctrl, timeline, obs=obs, track_base=track_base
+            )
+            track_base += spec.replicas + 1
+        if executors:
+            # fill every (layer, batch <= cap) memo in one vectorized
+            # sweep so the event loop never prices lazily mid-run
+            batches = range(1, max(cap for _, cap in executors) + 1)
+            prewarm_executors([ex for ex, _ in executors], list(batches))
+        self.shed: List[SheddedRequest] = []
+        self.arrived = 0
+        self._next_id = 0
+
+    def start(self) -> None:
+        """Name the trace tracks and spawn every pool's dispatcher."""
+        if self.obs is not None and self.obs.tracer.enabled:
+            tracer = self.obs.tracer
+            tracer.metadata("process_name", "repro.serve.live")
+            for pool in self.pools.values():
+                base = pool.track_base
+                tracer.metadata(
+                    "thread_name", f"{pool.spec.model} queue", tid=base
+                )
+                for r in range(pool.spec.replicas):
+                    tracer.metadata(
+                        "thread_name",
+                        f"{pool.spec.model} replica {r}",
+                        tid=base + 1 + r,
+                    )
+        for pool in self.pools.values():
+            pool.start()
+
+    def submit(self, model: str, request_id: Optional[int] = None):
+        """Admit or shed one arrival at the current timeline instant.
+
+        Returns the response future (resolves to :class:`LiveServed`)
+        on admit, or the :class:`SheddedRequest` on shed — the decision
+        is synchronous, so a rejected caller pays nothing but the gate.
+        """
+        pool = self.pools.get(model)
+        if pool is None:
+            raise ValueError(
+                f"no pool serves model {model!r}; pools: "
+                f"{sorted(self.pools)}"
+            )
+        now_ms = self.timeline.now_ms()
+        if request_id is None:
+            request_id = self._next_id
+        self._next_id = max(self._next_id, request_id) + 1
+        self.arrived += 1
+        self._count("serve.live.arrived", "requests that reached the plane")
+        reason = (
+            self.admission.decide(pool, now_ms)
+            if self.admission.enabled
+            else None
+        )
+        if reason is not None:
+            record = SheddedRequest(
+                request_id=request_id,
+                model=model,
+                arrival_ms=now_ms,
+                reason=reason,
+            )
+            self.shed.append(record)
+            self._count("serve.live.shed", "requests rejected at the door")
+            self._count(
+                f"serve.live.shed.{reason}", f"sheds for reason {reason}"
+            )
+            self._count(f"serve.live.{model}.shed", f"{model} sheds")
+            if self.obs is not None and self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "shed",
+                    ts_us=now_ms * 1e3,
+                    tid=pool.track_base,
+                    cat="admission",
+                    args={"request_id": request_id, "reason": reason},
+                )
+            return record
+        future = self.timeline.create_future()
+        pool.submit(_QueuedRequest(request_id, now_ms, future))
+        self._count("serve.live.admitted", "requests admitted to a queue")
+        self._count(f"serve.live.{model}.admitted", f"{model} admissions")
+        if self.obs is not None:
+            self.obs.metrics.gauge(
+                "serve.live.queue_depth",
+                help="pool queue depth (max observed)",
+            ).set(pool.queue_depth())
+            if self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "arrive",
+                    ts_us=now_ms * 1e3,
+                    tid=pool.track_base,
+                    args={"request_id": request_id},
+                )
+        return future
+
+    async def close(self) -> None:
+        """Drain every pool (all responses must be resolved)."""
+        for pool in self.pools.values():
+            await pool.close()
+
+    def _count(self, name: str, help_text: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.counter(name, help=help_text).inc()
+
+    # -- the HTTP front door ------------------------------------------
+
+    async def handle_http(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, str, str]:
+        """Route one HTTP request: ``(status, content type, body)``."""
+        if method == "GET" and path == "/healthz":
+            return 200, "application/json", json.dumps(
+                {"pools": sorted(self.pools), "status": "ok"},
+                sort_keys=True,
+            )
+        if method == "GET" and path == "/metrics":
+            if self.obs is None:
+                return 404, "text/plain", "metrics are not enabled\n"
+            return 200, "text/plain", self.obs.metrics.prometheus_text()
+        if method == "POST" and path == "/v1/infer":
+            try:
+                payload = json.loads(body or b"{}")
+            except json.JSONDecodeError:
+                return 400, "application/json", json.dumps(
+                    {"error": "body is not JSON"}
+                )
+            model = payload.get("model")
+            if model is None and len(self.pools) == 1:
+                model = next(iter(self.pools))
+            if model not in self.pools:
+                return 400, "application/json", json.dumps(
+                    {"error": f"unknown model {model!r}",
+                     "pools": sorted(self.pools)},
+                    sort_keys=True,
+                )
+            outcome = self.submit(model)
+            if isinstance(outcome, SheddedRequest):
+                return 429, "application/json", json.dumps(
+                    {"error": "shed", "reason": outcome.reason,
+                     "request_id": outcome.request_id},
+                    sort_keys=True,
+                )
+            served: LiveServed = await self.timeline.wait(outcome)
+            return 200, "application/json", json.dumps(
+                {
+                    "request_id": served.request_id,
+                    "model": served.model,
+                    "replica": served.replica,
+                    "batch_size": served.batch_size,
+                    "latency_ms": served.latency_ms,
+                },
+                sort_keys=True,
+            )
+        return 404, "application/json", json.dumps({"error": "not found"})
+
+    async def handle_client(self, reader, writer) -> None:
+        """One HTTP/1.1 connection on the stdlib asyncio server."""
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                writer.close()
+                return
+            method, path = parts[0], parts[1]
+            headers = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                key, _, value = line.decode("latin-1").partition(":")
+                headers[key.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0"))
+            body = await reader.readexactly(length) if length else b""
+            status, ctype, payload = await self.handle_http(
+                method, path, body
+            )
+            data = payload.encode()
+            head = (
+                f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n"
+            )
+            if status == 429:
+                head += "Retry-After: 1\r\n"
+            writer.write(head.encode("latin-1") + b"\r\n" + data)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+
+def assign_models(
+    trace: Sequence[Request],
+    mix: Dict[str, float],
+    seed: int = 0,
+) -> Tuple[Tuple[str, Request], ...]:
+    """Tag each trace request with a model drawn from a weighted mix.
+
+    Weights need not sum to one; a seeded ``random.Random`` makes the
+    assignment deterministic, and a single-model mix skips the RNG so
+    the common case stays trivially reproducible.
+    """
+    if not mix:
+        raise ValueError("the request mix needs at least one model")
+    for model, weight in mix.items():
+        if weight <= 0:
+            raise ValueError(
+                f"mix weight for {model!r} must be positive, got {weight}"
+            )
+    models = sorted(mix)
+    if len(models) == 1:
+        return tuple((models[0], req) for req in trace)
+    weights = [mix[m] for m in models]
+    rng = random.Random(f"mix:{seed}")
+    chosen = rng.choices(models, weights=weights, k=len(trace))
+    return tuple(zip(chosen, trace))
+
+
+@dataclass
+class LiveResult:
+    """Everything one live run produced, pre-report."""
+
+    served: Tuple[LiveServed, ...]
+    shed: Tuple[SheddedRequest, ...]
+    batches: Tuple[LiveBatch, ...]
+    arrived: int
+
+    @property
+    def makespan_ms(self) -> float:
+        """First arrival to last completion over every pool."""
+        if not self.served:
+            return 0.0
+        first = min(s.arrival_ms for s in self.served)
+        last = max(s.completion_ms for s in self.served)
+        return last - first
+
+
+def run_trace(
+    plane: ServePlane,
+    arrivals: Sequence[Tuple[str, Request]],
+) -> LiveResult:
+    """Drive ``plane`` end-to-end with a model-tagged arrival trace.
+
+    The injector replays each arrival at its trace time on the plane's
+    timeline — virtual for the sim controller (the run completes in
+    milliseconds of real time however long the trace is), wall for the
+    real controller.  Returns once every admitted request completed
+    and the pools drained.
+    """
+    if not arrivals:
+        raise ValueError(
+            "trace is empty — raise the arrival rate or duration "
+            "(or check the replayed CSV)"
+        )
+
+    async def _main():
+        plane.start()
+        pending = []
+        for model, request in arrivals:
+            await plane.timeline.sleep_until(request.arrival_ms)
+            outcome = plane.submit(model, request.request_id)
+            if not isinstance(outcome, SheddedRequest):
+                pending.append(outcome)
+        for future in pending:
+            await plane.timeline.wait(future)
+        await plane.close()
+
+    plane.timeline.execute(_main())
+    served = []
+    batches = []
+    for model in sorted(plane.pools):
+        pool = plane.pools[model]
+        served.extend(pool.served)
+        batches.extend(pool.batches)
+    served.sort(key=lambda s: (s.completion_ms, s.request_id))
+    batches.sort(key=lambda b: (b.dispatch_ms, b.model, b.replica))
+    return LiveResult(
+        served=tuple(served),
+        shed=tuple(plane.shed),
+        batches=tuple(batches),
+        arrived=plane.arrived,
+    )
+
+
+def run_http(
+    plane: ServePlane,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    duration_ms: Optional[float] = None,
+    ready=None,
+) -> LiveResult:
+    """Serve the HTTP front door until ``duration_ms`` elapses.
+
+    Wall-timeline only (a virtual clock cannot pace a socket).  The
+    optional ``ready`` callback receives the bound ``(host, port)``
+    once the server is listening — the tests use it to connect.
+    """
+    if isinstance(plane.timeline, VirtualTimeline):
+        raise ValueError(
+            "the HTTP front door needs a wall timeline — virtual time "
+            "cannot pace sockets; use controller 'real' or 'mock'"
+        )
+
+    async def _main():
+        plane.start()
+        server = await asyncio.start_server(plane.handle_client, host, port)
+        bound = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready(bound)
+        if duration_ms is not None:
+            await plane.timeline.sleep_until(
+                plane.timeline.now_ms() + duration_ms
+            )
+        else:  # pragma: no cover - interactive serving waits forever
+            await asyncio.Event().wait()
+        server.close()
+        await server.wait_closed()
+        await plane.close()
+
+    plane.timeline.execute(_main())
+    served = []
+    batches = []
+    for model in sorted(plane.pools):
+        pool = plane.pools[model]
+        served.extend(pool.served)
+        batches.extend(pool.batches)
+    served.sort(key=lambda s: (s.completion_ms, s.request_id))
+    return LiveResult(
+        served=tuple(served),
+        shed=tuple(plane.shed),
+        batches=tuple(batches),
+        arrived=plane.arrived,
+    )
+
+
+def _percentiles(latencies: List[float]) -> dict:
+    from .report import percentile
+
+    if not latencies:
+        return {
+            "mean_ms": None,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+            "max_ms": None,
+        }
+    return {
+        "mean_ms": sum(latencies) / len(latencies),
+        "p50_ms": percentile(latencies, 50),
+        "p95_ms": percentile(latencies, 95),
+        "p99_ms": percentile(latencies, 99),
+        "max_ms": max(latencies),
+    }
+
+
+def live_report(
+    plane: ServePlane,
+    result: LiveResult,
+    machine_name: str,
+    isa: str,
+    trace_info: dict,
+    slo_p99_ms: float,
+) -> dict:
+    """The deterministic JSON report of one live run.
+
+    Every number derives from timeline instants — virtual for the sim
+    controller, so two identical runs serialize byte-identically
+    (sorted keys via :func:`repro.serve.report.save_report`).
+    """
+    per_model = {}
+    for model in sorted(plane.pools):
+        pool = plane.pools[model]
+        latencies = [s.latency_ms for s in pool.served]
+        shed = [s for s in result.shed if s.model == model]
+        reasons: Dict[str, int] = {}
+        for record in shed:
+            reasons[record.reason] = reasons.get(record.reason, 0) + 1
+        per_model[model] = {
+            "pool": pool.spec.describe(),
+            "admitted": len(pool.served),
+            "shed": len(shed),
+            "shed_reasons": dict(sorted(reasons.items())),
+            "completed": len(pool.served),
+            "batches": len(pool.batches),
+            "mean_batch": (
+                len(pool.served) / len(pool.batches)
+                if pool.batches
+                else 0.0
+            ),
+            "latency": _percentiles(latencies),
+        }
+    latencies = [s.latency_ms for s in result.served]
+    makespan = result.makespan_ms
+    admitted = len(result.served)
+    totals = {
+        "arrived": result.arrived,
+        "admitted": admitted,
+        "shed": len(result.shed),
+        "shed_rate": (
+            len(result.shed) / result.arrived if result.arrived else 0.0
+        ),
+        "completed": admitted,
+        "batches": len(result.batches),
+        "throughput_rps": (
+            admitted / makespan * 1e3 if makespan > 0 else 0.0
+        ),
+        "makespan_ms": makespan,
+        "latency": _percentiles(latencies),
+    }
+    slo_met = bool(
+        latencies and totals["latency"]["p99_ms"] <= slo_p99_ms
+    )
+    return {
+        "plane": {
+            "controller": plane.controller_kind,
+            "timeline": plane.timeline.kind,
+            "admission": plane.admission.describe(),
+            "pools": [
+                plane.pools[m].spec.describe() for m in sorted(plane.pools)
+            ],
+        },
+        "machine": machine_name,
+        "isa": isa,
+        "trace": trace_info,
+        "slo_p99_ms": slo_p99_ms,
+        "slo_met": slo_met,
+        "totals": totals,
+        "per_model": per_model,
+    }

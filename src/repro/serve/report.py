@@ -108,6 +108,7 @@ def build_report(
 
 
 def candidate_row(outcome) -> dict:
+    """One configuration's row in the report's candidates table."""
     return {
         "config": outcome.label,
         "replicas": outcome.placement.replicas,

@@ -1,0 +1,254 @@
+"""Virtual- and wall-clock schedulers for the asyncio serving plane.
+
+The live plane (:mod:`repro.serve.plane`) is ordinary asyncio code —
+coroutines queue, batch, and execute requests — but it never calls
+``asyncio.sleep`` or reads a wall clock directly.  Every blocking
+operation goes through a *timeline*:
+
+* :class:`WallTimeline` maps the primitives straight onto asyncio —
+  real sleeps, real time — for serving actual HTTP traffic.
+* :class:`VirtualTimeline` runs the identical coroutines in simulated
+  time: sleeps register on a heap of ``(wake_ms, seq)`` entries and a
+  stepper advances the virtual clock to the earliest pending wake only
+  when every task is blocked.  Because asyncio's ready queue is FIFO
+  and nothing touches real time or real I/O, the whole plane becomes a
+  deterministic discrete-event simulation — two runs of the same
+  (trace, config) produce byte-identical reports and traces.
+
+The accounting invariant that makes the stepper sound: a task is
+"runnable" unless it is parked inside :meth:`sleep_until` or
+:meth:`wait`, and the runnable count is adjusted *synchronously* at
+block and wake time (``fire`` increments before ``set_result``), so
+the stepper can never advance virtual time past work that is already
+scheduled to run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import time
+import weakref
+from typing import Any, Coroutine, List, Tuple
+
+#: the value a deadline-expired :meth:`Timeline.wait_or_deadline` yields
+DEADLINE = object()
+
+
+class WallTimeline:
+    """The real-time timeline: primitives map directly onto asyncio."""
+
+    kind = "wall"
+
+    def __init__(self):
+        """Anchor ``now_ms`` at construction time."""
+        self._t0 = time.perf_counter()
+
+    def now_ms(self) -> float:
+        """Milliseconds since the timeline was created."""
+        return (time.perf_counter() - self._t0) * 1e3
+
+    def create_future(self) -> "asyncio.Future":
+        """Return a fresh future on the running loop."""
+        return asyncio.get_running_loop().create_future()
+
+    def fire(self, future: "asyncio.Future", value: Any = None) -> None:
+        """Resolve ``future`` with ``value`` unless already resolved."""
+        if not future.done():
+            future.set_result(value)
+
+    async def sleep_until(self, wake_ms: float) -> None:
+        """Sleep until the timeline reaches ``wake_ms``."""
+        delay = (wake_ms - self.now_ms()) / 1e3
+        if delay > 0:
+            await asyncio.sleep(delay)
+
+    async def wait(self, future: "asyncio.Future") -> Any:
+        """Block until ``future`` resolves; return its value."""
+        return await future
+
+    async def wait_or_deadline(
+        self, future: "asyncio.Future", deadline_ms: float
+    ) -> Any:
+        """Wait for ``future`` or the deadline, whichever comes first.
+
+        Returns the future's value, or :data:`DEADLINE` on expiry (the
+        future is left pending for its producer to resolve later).
+        """
+        if future.done():
+            return future.result()
+        timeout = max(0.0, (deadline_ms - self.now_ms()) / 1e3)
+        done, _ = await asyncio.wait((future,), timeout=timeout)
+        return future.result() if done else DEADLINE
+
+    def spawn(self, coro: Coroutine) -> "asyncio.Task":
+        """Run ``coro`` concurrently as a task."""
+        return asyncio.get_running_loop().create_task(coro)
+
+    async def join(self, task: "asyncio.Task") -> Any:
+        """Wait for a :meth:`spawn`-ed task; return its result."""
+        return await task
+
+    def execute(self, main: Coroutine) -> Any:
+        """Run ``main`` to completion on a fresh event loop."""
+        return asyncio.run(main)
+
+
+class VirtualTimeline:
+    """The simulated-time timeline: deterministic discrete-event asyncio.
+
+    Coroutines written against the timeline interface run unchanged;
+    only time is virtual.  The stepper inside :meth:`execute` advances
+    the clock to the earliest registered wake whenever every spawned
+    task is blocked, so execution order is a pure function of the
+    program — no wall clock, no I/O, no nondeterminism.
+    """
+
+    kind = "virtual"
+
+    def __init__(self, start_ms: float = 0.0):
+        """Start the virtual clock at ``start_ms``."""
+        self._now_ms = start_ms
+        self._seq = 0
+        #: (wake_ms, seq, future, value) pending virtual timers
+        self._sleepers: List[Tuple[float, int, "asyncio.Future", Any]] = []
+        self._runnable = 0
+        self._waited: set = set()
+        #: task -> completion future, for :meth:`join`; weak keys so
+        #: long runs don't accumulate finished-task entries
+        self._completions: "weakref.WeakKeyDictionary" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def now_ms(self) -> float:
+        """The current virtual time in milliseconds."""
+        return self._now_ms
+
+    def create_future(self) -> "asyncio.Future":
+        """Return a fresh future on the running loop."""
+        return asyncio.get_running_loop().create_future()
+
+    def fire(self, future: "asyncio.Future", value: Any = None) -> None:
+        """Resolve ``future``, synchronously re-marking its waiter runnable.
+
+        The runnable count moves *before* ``set_result`` so the stepper
+        never sees a woken-but-uncounted task and advances time over it.
+        """
+        if future.done():
+            return
+        if future in self._waited:
+            self._waited.discard(future)
+            self._runnable += 1
+        future.set_result(value)
+
+    def _block_on(self, future: "asyncio.Future") -> None:
+        self._waited.add(future)
+        self._runnable -= 1
+
+    async def _await_blocked(self, future: "asyncio.Future") -> Any:
+        try:
+            return await future
+        except asyncio.CancelledError:
+            if future in self._waited:
+                self._waited.discard(future)
+                self._runnable += 1
+            raise
+
+    async def sleep_until(self, wake_ms: float) -> None:
+        """Park until the virtual clock reaches ``wake_ms``."""
+        if wake_ms <= self._now_ms:
+            return
+        future = self.create_future()
+        self._seq += 1
+        heapq.heappush(self._sleepers, (wake_ms, self._seq, future, None))
+        self._block_on(future)
+        await self._await_blocked(future)
+
+    async def wait(self, future: "asyncio.Future") -> Any:
+        """Park until ``future`` is :meth:`fire`-d; return its value."""
+        if future.done():
+            return future.result()
+        self._block_on(future)
+        return await self._await_blocked(future)
+
+    async def wait_or_deadline(
+        self, future: "asyncio.Future", deadline_ms: float
+    ) -> Any:
+        """Wait for ``future`` or virtual time ``deadline_ms``.
+
+        Returns the fired value, or :data:`DEADLINE` when the deadline
+        arrives first; a deadline entry whose future was already fired
+        is skipped by the stepper, so stale timers are harmless.
+        """
+        if future.done():
+            return future.result()
+        if deadline_ms <= self._now_ms:
+            return DEADLINE
+        self._seq += 1
+        heapq.heappush(
+            self._sleepers, (deadline_ms, self._seq, future, DEADLINE)
+        )
+        return await self.wait(future)
+
+    def spawn(self, coro: Coroutine) -> "asyncio.Task":
+        """Run ``coro`` as a task tracked by the runnable accounting.
+
+        Virtual-time callers must :meth:`join` a spawned task rather
+        than ``await`` it: a raw task-await leaves the waiter counted
+        runnable, freezing the clock.  The completion future is fired
+        *inside* the task's own final step, so a joiner is re-marked
+        runnable before the stepper can look at the counter.
+        """
+        completion = self.create_future()
+
+        async def wrapped():
+            try:
+                return await coro
+            finally:
+                self._runnable -= 1
+                self.fire(completion, None)
+
+        self._runnable += 1
+        task = asyncio.get_running_loop().create_task(wrapped())
+        self._completions[task] = completion
+        return task
+
+    async def join(self, task: "asyncio.Task") -> Any:
+        """Wait for a :meth:`spawn`-ed task; return (or raise) its result."""
+        completion = self._completions.get(task)
+        if completion is not None and not task.done():
+            await self.wait(completion)
+        return await task
+
+    def _advance(self) -> None:
+        """Wake the earliest pending virtual timer."""
+        while self._sleepers:
+            wake_ms, _, future, value = heapq.heappop(self._sleepers)
+            if future.done():
+                continue  # a deadline timer whose wait already fired
+            if wake_ms > self._now_ms:
+                self._now_ms = wake_ms
+            self.fire(future, value)
+            return
+        raise RuntimeError(
+            "virtual-time deadlock: every task is blocked but no "
+            "virtual timer is pending — a plane coroutine is waiting "
+            "on an event nothing will fire"
+        )
+
+    async def _drive(self, main: Coroutine) -> Any:
+        task = self.spawn(main)
+        while not task.done():
+            if self._runnable == 0:
+                self._advance()
+            await asyncio.sleep(0)
+        return task.result()
+
+    def execute(self, main: Coroutine) -> Any:
+        """Run ``main`` under the stepper on a fresh event loop."""
+        return asyncio.run(self._drive(main))
+
+
+def timeline_for(controller: str):
+    """The timeline a controller kind runs on (sim -> virtual)."""
+    return VirtualTimeline() if controller == "sim" else WallTimeline()

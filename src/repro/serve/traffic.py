@@ -5,18 +5,27 @@ inference request reached the server, in milliseconds from the start of
 the run.  :func:`synthetic_trace` draws Poisson-process arrivals from a
 seeded ``random.Random``, so the same (rate, duration, seed) triple
 always produces the same trace and every downstream serving report is
-deterministic.  :func:`load_trace` / :func:`save_trace` round-trip
+deterministic.  :func:`diurnal_trace` modulates the rate on a smooth
+day/night cycle (a nonhomogeneous Poisson process drawn by thinning),
+and :func:`mmpp_trace` is the bursty case — a Markov-modulated Poisson
+process that jumps between rate states on exponential dwell times, the
+classic model of flash-crowd traffic.  All three generators are exact
+functions of their seed and run in O(requests), so million-request
+traces are cheap.  :func:`load_trace` / :func:`save_trace` round-trip
 traces through a two-column CSV (``request_id,arrival_ms``) for replay
-of captured traffic.
+of captured traffic, and :func:`trace_from_spec` parses the CLI's
+``--arrivals`` spellings (``synthetic``, ``diurnal:...``, ``mmpp:...``,
+or a CSV path) into a trace plus its report metadata.
 """
 
 from __future__ import annotations
 
 import csv
+import math
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence, Tuple, Union
+from typing import Dict, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -51,6 +60,229 @@ def synthetic_trace(
         requests.append(Request(request_id=len(requests), arrival_ms=t))
         t += rng.expovariate(rate_per_ms)
     return tuple(requests)
+
+
+def diurnal_trace(
+    base_rps: float,
+    peak_rps: float,
+    duration_ms: float,
+    period_ms: float = 86_400_000.0,
+    seed: int = 0,
+) -> Tuple[Request, ...]:
+    """Day/night-cycle arrivals: a smoothly rate-modulated Poisson process.
+
+    The instantaneous rate follows one cosine hump per ``period_ms``,
+
+    .. code-block:: text
+
+        rate(t) = base + (peak - base) * (1 - cos(2*pi*t/period)) / 2
+
+    starting at ``base_rps`` (midnight), peaking at ``peak_rps`` half a
+    period in.  Arrivals are drawn by Lewis-Shedler thinning: propose
+    homogeneous arrivals at ``peak_rps``, accept each with probability
+    ``rate(t)/peak``, so the process is an exact nonhomogeneous Poisson
+    draw and — like every generator here — a pure function of the seed.
+    """
+    if base_rps <= 0:
+        raise ValueError(
+            f"base_rps must be positive, got {base_rps} — a zero-rate "
+            "trough would emit no requests and stall the trace; use a "
+            "small positive rate for quiet hours"
+        )
+    if peak_rps < base_rps:
+        raise ValueError(
+            f"peak_rps ({peak_rps}) must be >= base_rps ({base_rps})"
+        )
+    if duration_ms <= 0:
+        raise ValueError(f"duration_ms must be positive, got {duration_ms}")
+    if period_ms <= 0:
+        raise ValueError(f"period_ms must be positive, got {period_ms}")
+    rng = random.Random(seed)
+    peak_per_ms = peak_rps / 1000.0
+    omega = 2.0 * math.pi / period_ms
+    requests = []
+    t = rng.expovariate(peak_per_ms)
+    while t <= duration_ms:
+        rate_rps = base_rps + (peak_rps - base_rps) * (
+            1.0 - math.cos(omega * t)
+        ) / 2.0
+        if rng.random() <= rate_rps / peak_rps:
+            requests.append(Request(request_id=len(requests), arrival_ms=t))
+        t += rng.expovariate(peak_per_ms)
+    return tuple(requests)
+
+
+def mmpp_trace(
+    rates_rps: Sequence[float],
+    mean_dwell_ms: float,
+    duration_ms: float,
+    seed: int = 0,
+    start_state: int = 0,
+) -> Tuple[Request, ...]:
+    """Markov-modulated Poisson arrivals: bursty flash-crowd traffic.
+
+    The process sits in one of ``len(rates_rps)`` states, emitting
+    Poisson arrivals at that state's rate; after an exponential dwell
+    of mean ``mean_dwell_ms`` it jumps to a uniformly-chosen *other*
+    state.  Two states (a quiet rate and a burst rate) give the classic
+    on/off burst model; more states interpolate.  Because exponential
+    inter-arrivals are memoryless, re-drawing the next arrival after a
+    state change keeps the draw exact.  Deterministic per seed.
+    """
+    rates = tuple(float(r) for r in rates_rps)
+    if len(rates) < 2:
+        raise ValueError(
+            f"mmpp needs >= 2 rate states to modulate between, got "
+            f"{list(rates)} — pass e.g. a quiet rate and a burst rate"
+        )
+    for i, rate in enumerate(rates):
+        if rate <= 0:
+            raise ValueError(
+                f"rate state {i} must be positive, got {rate} — every "
+                "MMPP state emits arrivals; model an off state with a "
+                "small positive rate instead"
+            )
+    if mean_dwell_ms <= 0:
+        raise ValueError(
+            f"mean_dwell_ms must be positive, got {mean_dwell_ms}"
+        )
+    if duration_ms <= 0:
+        raise ValueError(f"duration_ms must be positive, got {duration_ms}")
+    if not 0 <= start_state < len(rates):
+        raise ValueError(
+            f"start_state {start_state} out of range for "
+            f"{len(rates)} states"
+        )
+    rng = random.Random(seed)
+    requests = []
+    state = start_state
+    t = 0.0
+    switch_at = rng.expovariate(1.0 / mean_dwell_ms)
+    while t < duration_ms:
+        gap = rng.expovariate(rates[state] / 1000.0)
+        if t + gap > switch_at:
+            # jump states at the dwell expiry and re-draw the gap —
+            # exact for exponentials (memorylessness)
+            t = switch_at
+            switch_at = t + rng.expovariate(1.0 / mean_dwell_ms)
+            others = [s for s in range(len(rates)) if s != state]
+            state = others[rng.randrange(len(others))]
+            continue
+        t += gap
+        if t <= duration_ms:
+            requests.append(Request(request_id=len(requests), arrival_ms=t))
+    return tuple(requests)
+
+
+def _parse_kv_spec(body: str, spec: str) -> Dict[str, str]:
+    """Split ``key=value,key=value`` (values may use ``:`` lists)."""
+    fields: Dict[str, str] = {}
+    for part in body.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad arrivals spec {spec!r}: expected key=value pairs, "
+                f"got {part!r}"
+            )
+        key, value = part.split("=", 1)
+        fields[key.strip()] = value.strip()
+    return fields
+
+
+def trace_from_spec(
+    spec: str,
+    rate_rps: float = 15.0,
+    duration_ms: float = 1000.0,
+    seed: int = 0,
+) -> Tuple[Tuple[Request, ...], dict]:
+    """Parse an ``--arrivals`` spec into ``(trace, report metadata)``.
+
+    Four spellings::
+
+        synthetic                              # Poisson at --rate/--duration
+        diurnal:base=5,peak=50,period=2000[,duration=...,seed=...]
+        mmpp:rates=5:80,dwell=300[,duration=...,seed=...,start=...]
+        path/to/trace.csv                      # request_id,arrival_ms replay
+
+    The generator spellings default ``duration``/``seed`` to the CLI's
+    ``--duration``/``--seed`` values; unknown keys raise ``ValueError``
+    naming the key, so a typo cannot silently fall back to defaults.
+    """
+    if spec == "synthetic":
+        trace = synthetic_trace(rate_rps, duration_ms, seed=seed)
+        return trace, {
+            "kind": "synthetic",
+            "rate_rps": rate_rps,
+            "duration_ms": duration_ms,
+            "seed": seed,
+            "requests": len(trace),
+        }
+    if spec.startswith("diurnal:"):
+        fields = _parse_kv_spec(spec[len("diurnal:") :], spec)
+        unknown = set(fields) - {"base", "peak", "period", "duration", "seed"}
+        if unknown:
+            raise ValueError(
+                f"bad arrivals spec {spec!r}: unknown keys "
+                f"{sorted(unknown)} (known: base, peak, period, "
+                "duration, seed)"
+            )
+        missing = {"base", "peak"} - set(fields)
+        if missing:
+            raise ValueError(
+                f"bad arrivals spec {spec!r}: missing keys "
+                f"{sorted(missing)}"
+            )
+        base = float(fields["base"])
+        peak = float(fields["peak"])
+        period = float(fields.get("period", duration_ms))
+        dur = float(fields.get("duration", duration_ms))
+        sd = int(fields.get("seed", seed))
+        trace = diurnal_trace(base, peak, dur, period_ms=period, seed=sd)
+        return trace, {
+            "kind": "diurnal",
+            "base_rps": base,
+            "peak_rps": peak,
+            "period_ms": period,
+            "duration_ms": dur,
+            "seed": sd,
+            "requests": len(trace),
+        }
+    if spec.startswith("mmpp:"):
+        fields = _parse_kv_spec(spec[len("mmpp:") :], spec)
+        unknown = set(fields) - {"rates", "dwell", "duration", "seed", "start"}
+        if unknown:
+            raise ValueError(
+                f"bad arrivals spec {spec!r}: unknown keys "
+                f"{sorted(unknown)} (known: rates, dwell, duration, "
+                "seed, start)"
+            )
+        missing = {"rates", "dwell"} - set(fields)
+        if missing:
+            raise ValueError(
+                f"bad arrivals spec {spec!r}: missing keys "
+                f"{sorted(missing)}"
+            )
+        rates = tuple(
+            float(r) for r in fields["rates"].split(":") if r.strip()
+        )
+        dwell = float(fields["dwell"])
+        dur = float(fields.get("duration", duration_ms))
+        sd = int(fields.get("seed", seed))
+        start = int(fields.get("start", 0))
+        trace = mmpp_trace(rates, dwell, dur, seed=sd, start_state=start)
+        return trace, {
+            "kind": "mmpp",
+            "rates_rps": list(rates),
+            "mean_dwell_ms": dwell,
+            "duration_ms": dur,
+            "seed": sd,
+            "start_state": start,
+            "requests": len(trace),
+        }
+    trace = load_trace(spec)
+    return trace, {"kind": "csv", "path": spec, "requests": len(trace)}
 
 
 def save_trace(trace: Sequence[Request], path: Union[str, Path]) -> Path:

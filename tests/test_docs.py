@@ -1,0 +1,95 @@
+"""Documentation health: the link checker, run as part of tier-1.
+
+``tools/check_doc_links.py`` verifies that every relative markdown
+link in README.md and docs/ resolves to a real file; CI runs the
+script directly and this test keeps the same gate in the tier-1
+suite (plus unit coverage of the checker itself, so a regression in
+the tool cannot silently pass broken docs).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", REPO / "tools" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def test_repo_docs_have_no_broken_links(capsys):
+    code = checker.main([str(REPO / "README.md"), str(REPO / "docs")])
+    out = capsys.readouterr().out
+    assert code == 0, f"broken documentation links:\n{out}"
+
+
+def test_readme_links_every_docs_page():
+    readme = (REPO / "README.md").read_text()
+    for page in sorted((REPO / "docs").glob("*.md")):
+        assert f"docs/{page.name}" in readme, (
+            f"README.md documentation map is missing docs/{page.name}"
+        )
+
+
+def test_index_links_every_other_docs_page():
+    index = (REPO / "docs" / "index.md").read_text()
+    for page in sorted((REPO / "docs").glob("*.md")):
+        if page.name == "index.md":
+            continue
+        assert page.name in index, (
+            f"docs/index.md does not reference {page.name}"
+        )
+
+
+def test_checker_flags_a_broken_link(tmp_path, capsys):
+    bad = tmp_path / "bad.md"
+    bad.write_text("see [missing](nope.md) and [ok](ok.md)\n")
+    (tmp_path / "ok.md").write_text("fine\n")
+    code = checker.main([str(bad)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "nope.md" in out
+    assert "ok.md" not in out.replace("nope.md", "")
+
+
+def test_checker_ignores_external_fragment_and_fenced_links(
+    tmp_path, capsys
+):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[web](https://example.com) [frag](#section)\n"
+        "```\n[fake](inside/a/code/fence.md)\n```\n"
+    )
+    assert checker.main([str(page)]) == 0
+    capsys.readouterr()
+
+
+def test_checker_accepts_anchored_relative_links(tmp_path):
+    (tmp_path / "other.md").write_text("# t\n")
+    page = tmp_path / "page.md"
+    page.write_text("[sec](other.md#t)\n")
+    assert checker.main([str(page)]) == 0
+
+
+def test_checker_errors_on_missing_root(capsys):
+    assert checker.main([str(REPO / "no-such-dir")]) == 1
+    assert "no such path" in capsys.readouterr().out
+
+
+def test_roadmap_names_no_nonexistent_paths():
+    """ROADMAP/SNIPPETS must only point at paths that exist."""
+    for name in ("ROADMAP.md", "SNIPPETS.md", "README.md"):
+        text = (REPO / name).read_text()
+        assert "/root/related" not in text, (
+            f"{name} references the non-existent /root/related/ file set"
+        )

@@ -1,0 +1,253 @@
+"""Tests for the arrival-trace generators (repro.serve.traffic).
+
+The load-bearing invariants:
+
+* every generator — synthetic, diurnal, MMPP — is a pure function of
+  its seed: same parameters, same trace, byte for byte;
+* rate parameters are validated with actionable messages (a zero rate
+  names the fix, not just the failure);
+* CSV round-trips stay bit-exact at large request counts, where float
+  formatting shortcuts would corrupt replay;
+* the ``--arrivals`` spec parser accepts all four spellings and names
+  unknown or missing keys instead of silently defaulting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    Request,
+    diurnal_trace,
+    load_trace,
+    mmpp_trace,
+    save_trace,
+    synthetic_trace,
+    trace_from_spec,
+)
+
+
+def _is_ordered(trace):
+    return all(
+        a.arrival_ms <= b.arrival_ms for a, b in zip(trace, trace[1:])
+    )
+
+
+class TestDiurnalTrace:
+    def test_seeded_determinism(self):
+        a = diurnal_trace(5.0, 50.0, 10_000.0, period_ms=5_000.0, seed=7)
+        b = diurnal_trace(5.0, 50.0, 10_000.0, period_ms=5_000.0, seed=7)
+        assert a == b
+        c = diurnal_trace(5.0, 50.0, 10_000.0, period_ms=5_000.0, seed=8)
+        assert a != c
+
+    def test_shape_and_bounds(self):
+        trace = diurnal_trace(
+            10.0, 100.0, 20_000.0, period_ms=20_000.0, seed=3
+        )
+        assert trace, "a 20s window at >= 10 rps cannot be empty"
+        assert _is_ordered(trace)
+        assert all(0.0 < r.arrival_ms <= 20_000.0 for r in trace)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+    def test_peak_hours_are_busier_than_troughs(self):
+        # one full period: the middle half-period is the peak hump
+        period = 40_000.0
+        trace = diurnal_trace(2.0, 80.0, period, period_ms=period, seed=0)
+        trough = sum(
+            1 for r in trace if r.arrival_ms < period / 4
+        ) + sum(1 for r in trace if r.arrival_ms > 3 * period / 4)
+        peak = sum(
+            1
+            for r in trace
+            if period / 4 <= r.arrival_ms <= 3 * period / 4
+        )
+        assert peak > 2 * trough
+
+    def test_flat_cycle_matches_poisson_rate(self):
+        # base == peak degenerates to a homogeneous Poisson process
+        trace = diurnal_trace(30.0, 30.0, 60_000.0, seed=1)
+        rate = len(trace) / 60.0
+        assert 20.0 < rate < 40.0
+
+    def test_zero_base_rate_rejected_with_fix(self):
+        with pytest.raises(ValueError, match="small positive rate"):
+            diurnal_trace(0.0, 50.0, 1_000.0)
+
+    def test_negative_base_rate_rejected(self):
+        with pytest.raises(ValueError, match="base_rps must be positive"):
+            diurnal_trace(-1.0, 50.0, 1_000.0)
+
+    def test_peak_below_base_rejected(self):
+        with pytest.raises(ValueError, match="peak_rps"):
+            diurnal_trace(50.0, 5.0, 1_000.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"duration_ms": 0.0},
+            {"duration_ms": -5.0},
+            {"period_ms": 0.0},
+            {"period_ms": -1.0},
+        ],
+    )
+    def test_nonpositive_windows_rejected(self, kwargs):
+        params = {
+            "base_rps": 5.0,
+            "peak_rps": 50.0,
+            "duration_ms": 1_000.0,
+            **kwargs,
+        }
+        with pytest.raises(ValueError, match="must be positive"):
+            diurnal_trace(**params)
+
+
+class TestMmppTrace:
+    def test_seeded_determinism(self):
+        a = mmpp_trace((5.0, 80.0), 300.0, 5_000.0, seed=11)
+        b = mmpp_trace((5.0, 80.0), 300.0, 5_000.0, seed=11)
+        assert a == b
+        assert a != mmpp_trace((5.0, 80.0), 300.0, 5_000.0, seed=12)
+
+    def test_start_state_changes_the_trace(self):
+        quiet = mmpp_trace(
+            (1.0, 500.0), 1_000.0, 2_000.0, seed=0, start_state=0
+        )
+        burst = mmpp_trace(
+            (1.0, 500.0), 1_000.0, 2_000.0, seed=0, start_state=1
+        )
+        assert len(burst) > len(quiet)
+
+    def test_shape_and_bounds(self):
+        trace = mmpp_trace((10.0, 200.0), 250.0, 8_000.0, seed=2)
+        assert trace
+        assert _is_ordered(trace)
+        assert all(0.0 < r.arrival_ms <= 8_000.0 for r in trace)
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+
+    def test_modulation_is_bursty(self):
+        # wildly separated rates: windows of the trace must show both
+        # regimes, which a homogeneous process at either rate would not
+        trace = mmpp_trace((2.0, 2_000.0), 500.0, 20_000.0, seed=4)
+        counts = [0] * 20
+        for req in trace:
+            counts[min(19, int(req.arrival_ms // 1_000.0))] += 1
+        assert max(counts) > 200  # burst windows
+        assert min(counts) < 100  # quiet windows
+
+    def test_single_state_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 rate states"):
+            mmpp_trace((10.0,), 100.0, 1_000.0)
+
+    def test_zero_rate_state_rejected_with_fix(self):
+        with pytest.raises(
+            ValueError, match="small positive rate instead"
+        ):
+            mmpp_trace((0.0, 80.0), 100.0, 1_000.0)
+        with pytest.raises(ValueError, match="rate state 1"):
+            mmpp_trace((5.0, -3.0), 100.0, 1_000.0)
+
+    def test_nonpositive_dwell_and_duration_rejected(self):
+        with pytest.raises(ValueError, match="mean_dwell_ms"):
+            mmpp_trace((5.0, 80.0), 0.0, 1_000.0)
+        with pytest.raises(ValueError, match="duration_ms"):
+            mmpp_trace((5.0, 80.0), 100.0, -1.0)
+
+    def test_start_state_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="start_state 2"):
+            mmpp_trace((5.0, 80.0), 100.0, 1_000.0, start_state=2)
+
+
+class TestCsvRoundTrip:
+    def test_large_mmpp_trace_round_trips_bit_exact(self, tmp_path):
+        # ~100k requests: float shortcuts in the CSV writer would
+        # corrupt exactly this kind of replay
+        trace = mmpp_trace(
+            (500.0, 5_000.0), 200.0, 60_000.0, seed=9
+        )
+        assert len(trace) > 50_000
+        path = tmp_path / "big.csv"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+    def test_large_diurnal_trace_round_trips_bit_exact(self, tmp_path):
+        trace = diurnal_trace(
+            200.0, 4_000.0, 60_000.0, period_ms=60_000.0, seed=5
+        )
+        assert len(trace) > 50_000
+        path = tmp_path / "big.csv"
+        save_trace(trace, path)
+        assert load_trace(path) == trace
+
+
+class TestTraceFromSpec:
+    def test_synthetic_uses_cli_defaults(self):
+        trace, info = trace_from_spec(
+            "synthetic", rate_rps=20.0, duration_ms=500.0, seed=3
+        )
+        assert trace == synthetic_trace(20.0, 500.0, seed=3)
+        assert info["kind"] == "synthetic"
+        assert info["requests"] == len(trace)
+
+    def test_diurnal_spec(self):
+        spec = "diurnal:base=5,peak=50,period=2000,duration=4000,seed=6"
+        trace, info = trace_from_spec(spec)
+        assert trace == diurnal_trace(
+            5.0, 50.0, 4_000.0, period_ms=2_000.0, seed=6
+        )
+        assert info["kind"] == "diurnal"
+        assert info["period_ms"] == 2_000.0
+
+    def test_mmpp_spec_with_colon_rates(self):
+        spec = "mmpp:rates=5:80:300,dwell=250,duration=3000,seed=2,start=1"
+        trace, info = trace_from_spec(spec)
+        assert trace == mmpp_trace(
+            (5.0, 80.0, 300.0), 250.0, 3_000.0, seed=2, start_state=1
+        )
+        assert info["rates_rps"] == [5.0, 80.0, 300.0]
+
+    def test_generator_specs_inherit_cli_duration_and_seed(self):
+        trace, info = trace_from_spec(
+            "mmpp:rates=5:80,dwell=100", duration_ms=2_000.0, seed=4
+        )
+        assert info["duration_ms"] == 2_000.0
+        assert info["seed"] == 4
+        assert trace == mmpp_trace((5.0, 80.0), 100.0, 2_000.0, seed=4)
+
+    def test_unknown_key_is_named(self):
+        with pytest.raises(ValueError, match="ratez"):
+            trace_from_spec("mmpp:ratez=5:80,dwell=100")
+        with pytest.raises(ValueError, match="peek"):
+            trace_from_spec("diurnal:base=5,peek=50")
+
+    def test_missing_keys_are_named(self):
+        with pytest.raises(ValueError, match="dwell"):
+            trace_from_spec("mmpp:rates=5:80")
+        with pytest.raises(ValueError, match="peak"):
+            trace_from_spec("diurnal:base=5")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            trace_from_spec("diurnal:base=5,peak50")
+
+    def test_csv_path_replays(self, tmp_path):
+        trace = synthetic_trace(40.0, 300.0, seed=1)
+        path = tmp_path / "replay.csv"
+        save_trace(trace, path)
+        loaded, info = trace_from_spec(str(path))
+        assert loaded == trace
+        assert info == {
+            "kind": "csv",
+            "path": str(path),
+            "requests": len(trace),
+        }
+
+    def test_missing_csv_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            trace_from_spec(str(tmp_path / "nope.csv"))
+
+
+def test_request_is_frozen():
+    req = Request(request_id=0, arrival_ms=1.0)
+    with pytest.raises(AttributeError):
+        req.arrival_ms = 2.0

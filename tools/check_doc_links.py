@@ -1,0 +1,91 @@
+"""Markdown link checker for the repo's documentation.
+
+Scans the given files / directories (default: README.md and docs/)
+for inline markdown links and image references, and verifies that
+every **relative** link resolves to an existing file — catching the
+doc drift where a page moves or a referenced path never existed.
+External links (http/https/mailto) are not fetched; pure-fragment
+links (``#section``) are accepted.
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link
+is reported as ``file:line: target``), so the same script gates CI and
+the tier-1 test suite (``tests/test_docs.py``).
+
+Usage::
+
+    python tools/check_doc_links.py [path ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: inline markdown links/images: [text](target) / ![alt](target)
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: link schemes that are not filesystem paths
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into the markdown files to scan."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def broken_links(md_file: Path) -> List[Tuple[int, str]]:
+    """Relative links in ``md_file`` that do not resolve to a file."""
+    broken: List[Tuple[int, str]] = []
+    in_code_fence = False
+    for lineno, line in enumerate(
+        md_file.read_text().splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            resolved = (md_file.parent / target.split("#", 1)[0])
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    """Check every named file/directory; report and return 0/1."""
+    roots = [Path(arg) for arg in argv] or [
+        Path("README.md"),
+        Path("docs"),
+    ]
+    missing_roots = [str(r) for r in roots if not r.exists()]
+    if missing_roots:
+        print(f"no such path: {', '.join(missing_roots)}")
+        return 1
+    failures = 0
+    checked = 0
+    for md_file in iter_markdown_files(roots):
+        checked += 1
+        for lineno, target in broken_links(md_file):
+            print(f"{md_file}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"ok: {checked} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
