@@ -12,6 +12,13 @@ a CLI is invoked with ``--trace``/``--metrics``.
 * :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
   with nearest-rank percentiles; deterministic JSON and Prometheus-text
   exporters.
+* :mod:`repro.obs.context` — deterministic causal trace ids
+  (:class:`TraceContext`) the live serving plane threads through its
+  full request path.
+* :mod:`repro.obs.slo` — the rolling-window SLO monitor with
+  multi-window burn-rate alerts (:class:`SloMonitor`).
+* :mod:`repro.obs.analyze` — the offline trace-analysis engine behind
+  ``python -m repro.obs analyze``.
 * :mod:`repro.obs.log` — the structured stdout/stderr logger behind
   every CLI's ``--quiet``/``-v`` flags.
 * :mod:`repro.obs.profile` — per-GEMM profile hooks the timing model
@@ -27,7 +34,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Union
 
+from .analyze import analyze_trace, diff_analyses, markdown_summary
 from .clock import VirtualClock, WallClock
+from .context import TraceContext, batch_id_for, span_id_for, trace_id_for
 from .log import Logger, add_logging_args, configure, configure_from_args
 from .log import get_logger
 from .metrics import (
@@ -39,6 +48,7 @@ from .metrics import (
     prom_path_for,
 )
 from .profile import GemmProfiler
+from .slo import DEFAULT_RULES, BurnRateRule, SloMonitor
 from .trace import (
     NullTracer,
     Tracer,
@@ -48,6 +58,8 @@ from .trace import (
 )
 
 __all__ = [
+    "DEFAULT_RULES",
+    "BurnRateRule",
     "Counter",
     "Gauge",
     "GemmProfiler",
@@ -56,17 +68,25 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "Obs",
+    "SloMonitor",
+    "TraceContext",
     "Tracer",
     "VirtualClock",
     "WallClock",
     "add_logging_args",
+    "analyze_trace",
+    "batch_id_for",
     "configure",
+    "diff_analyses",
     "configure_from_args",
     "get_logger",
     "jsonl_path_for",
+    "markdown_summary",
     "nearest_rank_percentile",
     "obs_from_cli",
     "prom_path_for",
+    "span_id_for",
+    "trace_id_for",
     "validate_trace_events",
     "validate_trace_file",
 ]

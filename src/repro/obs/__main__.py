@@ -1,0 +1,12 @@
+"""CLI entry: ``python -m repro.obs analyze TRACE [--diff TRACE2]``.
+
+The command line lives in :mod:`repro.obs.analyze`; this module only
+dispatches so the package is runnable.
+"""
+
+import sys
+
+from .analyze import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,555 @@
+"""Offline trace analysis: critical paths, attribution, and diffs.
+
+``python -m repro.obs analyze TRACE`` reads a Chrome trace-event file
+(or the JSONL event log) written by the serving stack and answers the
+question the raw trace only implies: *where did each request's latency
+go?*  Using the causal context every event carries
+(:mod:`repro.obs.context`), the analyzer rebuilds each request's chain
+``arrive -> admit|shed -> queued -> execute`` and decomposes its
+latency into four exhaustive stages:
+
+* **admission** — arrival to the admission decision;
+* **queue wait** — admission to the instant the batch former acquired
+  a replica (the batch span's ``formed_ms``);
+* **batch wait** — forming start to dispatch (the head holding the
+  batch open under the max-batch/max-wait rule);
+* **service** — dispatch to completion (the modelled execution).
+
+The stages sum to the request latency exactly (forming instants are
+clamped into ``[admit, dispatch]``), so a two-trace ``--diff``
+attributes a latency delta to the stage that moved — e.g. a larger
+``--max-batch`` shows up as batch-wait, not service.  Batch spans also
+carry the controller's per-layer pricing, giving per-model and
+per-layer attribution of total service time.
+
+Everything derives from trace timestamps — never a wall clock — so
+analyzing the same trace twice yields byte-identical JSON; the CI
+obs-smoke job ``cmp``'s exactly that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .metrics import nearest_rank_percentile
+
+#: the exhaustive latency stages, in causal order
+STAGES = ("admission_ms", "queue_wait_ms", "batch_wait_ms", "service_ms")
+
+#: per-request chain events the analyzer consumes
+_CHAIN_EVENTS = ("arrive", "admit", "shed", "queued", "complete")
+
+
+def load_trace_events(path: Union[str, Path]) -> List[dict]:
+    """Read trace events from a Chrome JSON or JSONL event-log file.
+
+    Accepts the ``{"traceEvents": [...]}`` object format, a bare event
+    array, or one-JSON-object-per-line (``.jsonl``).  Raises
+    :class:`ValueError` on anything else.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".jsonl":
+        return [json.loads(line) for line in text.splitlines() if line]
+    data = json.loads(text)
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError(f"{path}: no traceEvents array")
+        return events
+    if isinstance(data, list):
+        return data
+    raise ValueError(f"{path}: not a trace object or event array")
+
+
+@dataclass
+class _RequestView:
+    """One request's events, assembled from the flat trace."""
+
+    request_id: int
+    trace_id: Optional[str] = None
+    model: Optional[str] = None
+    arrive_us: Optional[float] = None
+    admit_us: Optional[float] = None
+    shed_us: Optional[float] = None
+    shed_reason: Optional[str] = None
+    dispatch_us: Optional[float] = None
+    complete_us: Optional[float] = None
+    batch_id: Optional[str] = None
+    batch_size: Optional[int] = None
+    chain: List[dict] = field(default_factory=list)
+
+
+def _collect(events: Sequence[dict]):
+    """Group the flat event list into request views and batch records."""
+    requests: Dict[int, _RequestView] = {}
+    batches: Dict[str, dict] = {}
+    for event in events:
+        ph = event.get("ph")
+        name = event.get("name")
+        args = event.get("args") or {}
+        if ph == "X" and name == "batch":
+            bid = args.get("batch_id")
+            if bid is not None:
+                batches[bid] = {
+                    "dispatch_us": event["ts"],
+                    "dur_us": event.get("dur", 0.0),
+                    **args,
+                }
+            continue
+        if name not in _CHAIN_EVENTS:
+            continue
+        rid = args.get("request_id")
+        if rid is None:
+            continue
+        view = requests.setdefault(rid, _RequestView(request_id=rid))
+        if view.trace_id is None and "trace_id" in args:
+            view.trace_id = args["trace_id"]
+        link = {"event": name, "ts_ms": event["ts"] / 1e3}
+        for key in ("span_id", "parent_id"):
+            if key in args:
+                link[key] = args[key]
+        view.chain.append(link)
+        if name == "arrive":
+            view.arrive_us = event["ts"]
+            if "model" in args:
+                view.model = args["model"]
+        elif name == "admit":
+            view.admit_us = event["ts"]
+        elif name == "shed":
+            view.shed_us = event["ts"]
+            view.shed_reason = args.get("reason", "unknown")
+        elif name == "queued" and ph == "X":
+            view.dispatch_us = event["ts"] + event.get("dur", 0.0)
+            if "batch_id" in args:
+                view.batch_id = args["batch_id"]
+            if "batch_size" in args:
+                view.batch_size = args["batch_size"]
+        elif name == "complete":
+            view.complete_us = event["ts"]
+            if view.batch_id is None and "batch_id" in args:
+                view.batch_id = args["batch_id"]
+    return requests, batches
+
+
+def _request_stages(
+    view: _RequestView, batches: Dict[str, dict]
+) -> Optional[Dict[str, float]]:
+    """The exhaustive stage decomposition of one completed request.
+
+    Instants are clamped into causal order (``admit`` defaults to the
+    arrival, forming into ``[admit, dispatch]``), so the four stages
+    always sum to the arrival-to-completion latency exactly.
+    """
+    if view.arrive_us is None or view.complete_us is None:
+        return None
+    arrival = view.arrive_us / 1e3
+    admit = arrival if view.admit_us is None else view.admit_us / 1e3
+    complete = view.complete_us / 1e3
+    batch = batches.get(view.batch_id) if view.batch_id else None
+    if batch is not None:
+        dispatch = batch["dispatch_us"] / 1e3
+        formed = batch.get("formed_ms")
+    else:
+        dispatch = (
+            complete if view.dispatch_us is None else view.dispatch_us / 1e3
+        )
+        formed = None
+    formed = dispatch if formed is None else min(max(formed, admit), dispatch)
+    return {
+        "admission_ms": admit - arrival,
+        "queue_wait_ms": formed - admit,
+        "batch_wait_ms": dispatch - formed,
+        "service_ms": complete - dispatch,
+    }
+
+
+def _stats(values: List[float]) -> dict:
+    """Mean/percentile/max summary of one sample (``None`` when empty)."""
+    if not values:
+        return {
+            "mean_ms": None,
+            "p50_ms": None,
+            "p95_ms": None,
+            "p99_ms": None,
+            "max_ms": None,
+        }
+    return {
+        "mean_ms": sum(values) / len(values),
+        "p50_ms": nearest_rank_percentile(values, 50),
+        "p95_ms": nearest_rank_percentile(values, 95),
+        "p99_ms": nearest_rank_percentile(values, 99),
+        "max_ms": max(values),
+    }
+
+
+def analyze_events(
+    events: Sequence[dict], source: str = "", top: int = 10
+) -> dict:
+    """Analyze a trace-event list into the deterministic report dict.
+
+    The report carries request/shed totals, the latency summary, the
+    per-stage decomposition (with each stage's share of total
+    latency), per-model and per-layer attribution, and the slowest
+    ``top`` requests with their full causal chains.
+    """
+    requests, batches = _collect(events)
+    completed = []
+    for rid in sorted(requests):
+        view = requests[rid]
+        stages = _request_stages(view, batches)
+        if stages is None:
+            continue
+        latency = view.complete_us / 1e3 - view.arrive_us / 1e3
+        completed.append((view, stages, latency))
+    sheds = [v for v in requests.values() if v.shed_reason is not None]
+    shed_reasons: Dict[str, int] = {}
+    for view in sheds:
+        reason = view.shed_reason
+        shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+
+    latencies = [latency for _, _, latency in completed]
+    total_latency = sum(latencies)
+    stage_summary = {}
+    for stage in STAGES:
+        values = [stages[stage] for _, stages, _ in completed]
+        block = _stats(values)
+        block["total_ms"] = sum(values)
+        block["share"] = (
+            block["total_ms"] / total_latency if total_latency > 0 else 0.0
+        )
+        stage_summary[stage] = block
+
+    per_model: Dict[str, dict] = {}
+    for view, stages, latency in completed:
+        model = view.model
+        if model is None and view.batch_id in batches:
+            model = batches[view.batch_id].get("model")
+        key = model if model is not None else "unknown"
+        bucket = per_model.setdefault(
+            key, {"latencies": [], "stages": {s: 0.0 for s in STAGES}}
+        )
+        bucket["latencies"].append(latency)
+        for stage in STAGES:
+            bucket["stages"][stage] += stages[stage]
+    per_model_out = {}
+    for key in sorted(per_model):
+        bucket = per_model[key]
+        n = len(bucket["latencies"])
+        per_model_out[key] = {
+            "completed": n,
+            "latency": _stats(bucket["latencies"]),
+            "stage_mean_ms": {
+                stage: bucket["stages"][stage] / n for stage in STAGES
+            },
+        }
+
+    layer_totals: Dict[str, float] = {}
+    layer_batches: Dict[str, int] = {}
+    for bid in sorted(batches):
+        layers = batches[bid].get("layers")
+        if not isinstance(layers, dict):
+            continue
+        for layer, ms in layers.items():
+            layer_totals[layer] = layer_totals.get(layer, 0.0) + ms
+            layer_batches[layer] = layer_batches.get(layer, 0) + 1
+    layer_sum = sum(layer_totals.values())
+    per_layer = [
+        {
+            "layer": layer,
+            "total_ms": layer_totals[layer],
+            "batches": layer_batches[layer],
+            "share": (
+                layer_totals[layer] / layer_sum if layer_sum > 0 else 0.0
+            ),
+        }
+        for layer in sorted(
+            layer_totals, key=lambda k: (-layer_totals[k], k)
+        )
+    ]
+
+    slowest = []
+    ranked = sorted(
+        completed, key=lambda item: (-item[2], item[0].request_id)
+    )
+    for view, stages, latency in ranked[: max(top, 0)]:
+        slowest.append(
+            {
+                "request_id": view.request_id,
+                "trace_id": view.trace_id,
+                "model": view.model,
+                "batch_id": view.batch_id,
+                "batch_size": view.batch_size,
+                "latency_ms": latency,
+                "stages": stages,
+                "chain": view.chain,
+            }
+        )
+
+    batch_sizes = [
+        batches[bid].get("size") for bid in sorted(batches)
+        if isinstance(batches[bid].get("size"), (int, float))
+    ]
+    return {
+        "source": source,
+        "requests": {
+            "seen": len(requests),
+            "completed": len(completed),
+            "shed": len(sheds),
+            "with_trace_id": sum(
+                1 for v in requests.values() if v.trace_id is not None
+            ),
+        },
+        "latency": _stats(latencies),
+        "stages": stage_summary,
+        "per_model": per_model_out,
+        "per_layer": per_layer,
+        "sheds": {"count": len(sheds), "reasons": dict(sorted(
+            shed_reasons.items()
+        ))},
+        "batches": {
+            "count": len(batches),
+            "mean_size": (
+                sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+            ),
+        },
+        "slowest": slowest,
+    }
+
+
+def analyze_trace(
+    path: Union[str, Path], top: int = 10
+) -> dict:
+    """Load one trace file and run :func:`analyze_events` on it."""
+    return analyze_events(
+        load_trace_events(path), source=str(path), top=top
+    )
+
+
+def diff_analyses(a: dict, b: dict) -> dict:
+    """Attribute the latency delta between two analyses to a stage.
+
+    ``delta`` fields are ``b - a``; ``dominant_stage`` is the stage
+    whose mean moved the most in absolute terms — the analyzer's answer
+    to "what changed between these two runs?".
+    """
+    def _mean(analysis: dict, stage: str) -> float:
+        value = analysis["stages"][stage]["mean_ms"]
+        return 0.0 if value is None else value
+
+    stage_delta = {
+        stage: _mean(b, stage) - _mean(a, stage) for stage in STAGES
+    }
+    dominant = max(STAGES, key=lambda s: (abs(stage_delta[s]), s))
+
+    def _latency(analysis: dict, field_name: str) -> float:
+        value = analysis["latency"][field_name]
+        return 0.0 if value is None else value
+
+    return {
+        "a": {"source": a["source"], "latency": a["latency"]},
+        "b": {"source": b["source"], "latency": b["latency"]},
+        "delta": {
+            "mean_latency_ms": (
+                _latency(b, "mean_ms") - _latency(a, "mean_ms")
+            ),
+            "p99_latency_ms": (
+                _latency(b, "p99_ms") - _latency(a, "p99_ms")
+            ),
+            "stage_mean_ms": stage_delta,
+        },
+        "dominant_stage": dominant,
+    }
+
+
+def _fmt(value: Optional[float]) -> str:
+    """Fixed-point rendering for the markdown tables (``-`` for None)."""
+    return "-" if value is None else f"{value:.4f}"
+
+
+def markdown_summary(analysis: dict, diff: Optional[dict] = None) -> str:
+    """Render one analysis (and optional diff) as a markdown report."""
+    lines = [f"# Trace analysis: {analysis['source'] or '(events)'}", ""]
+    req = analysis["requests"]
+    lines.append(
+        f"- requests: {req['completed']} completed, {req['shed']} shed, "
+        f"{req['with_trace_id']} carrying a trace_id"
+    )
+    lat = analysis["latency"]
+    lines.append(
+        f"- latency ms: mean {_fmt(lat['mean_ms'])}, p50 "
+        f"{_fmt(lat['p50_ms'])}, p95 {_fmt(lat['p95_ms'])}, p99 "
+        f"{_fmt(lat['p99_ms'])}, max {_fmt(lat['max_ms'])}"
+    )
+    batches = analysis["batches"]
+    lines.append(
+        f"- batches: {batches['count']}, mean size "
+        f"{batches['mean_size']:.2f}"
+    )
+    if analysis["sheds"]["reasons"]:
+        reasons = ", ".join(
+            f"{k}={v}" for k, v in analysis["sheds"]["reasons"].items()
+        )
+        lines.append(f"- shed reasons: {reasons}")
+    lines += ["", "## Critical-path stages", ""]
+    lines.append("| stage | mean ms | p99 ms | total ms | share |")
+    lines.append("|---|---|---|---|---|")
+    for stage in STAGES:
+        block = analysis["stages"][stage]
+        lines.append(
+            f"| {stage} | {_fmt(block['mean_ms'])} | "
+            f"{_fmt(block['p99_ms'])} | {block['total_ms']:.4f} | "
+            f"{100.0 * block['share']:.1f}% |"
+        )
+    if analysis["per_model"]:
+        lines += ["", "## Per-model", ""]
+        lines.append("| model | completed | mean ms | p99 ms |")
+        lines.append("|---|---|---|---|")
+        for model, block in analysis["per_model"].items():
+            lines.append(
+                f"| {model} | {block['completed']} | "
+                f"{_fmt(block['latency']['mean_ms'])} | "
+                f"{_fmt(block['latency']['p99_ms'])} |"
+            )
+    if analysis["per_layer"]:
+        lines += ["", "## Per-layer service attribution (top 10)", ""]
+        lines.append("| layer | total ms | share |")
+        lines.append("|---|---|---|")
+        for row in analysis["per_layer"][:10]:
+            lines.append(
+                f"| {row['layer']} | {row['total_ms']:.4f} | "
+                f"{100.0 * row['share']:.1f}% |"
+            )
+    if analysis["slowest"]:
+        lines += ["", "## Slowest requests", ""]
+        lines.append(
+            "| request | latency ms | admission | queue wait | "
+            "batch wait | service | batch |"
+        )
+        lines.append("|---|---|---|---|---|---|---|")
+        for row in analysis["slowest"]:
+            stages = row["stages"]
+            lines.append(
+                f"| {row['request_id']} | {row['latency_ms']:.4f} | "
+                f"{stages['admission_ms']:.4f} | "
+                f"{stages['queue_wait_ms']:.4f} | "
+                f"{stages['batch_wait_ms']:.4f} | "
+                f"{stages['service_ms']:.4f} | "
+                f"{row['batch_id'] or '-'} |"
+            )
+    if diff is not None:
+        lines += ["", "## Diff", ""]
+        delta = diff["delta"]
+        lines.append(f"- against: {diff['b']['source']}")
+        lines.append(
+            f"- mean latency delta: {delta['mean_latency_ms']:+.4f} ms, "
+            f"p99 delta: {delta['p99_latency_ms']:+.4f} ms"
+        )
+        lines.append(f"- dominant stage: **{diff['dominant_stage']}**")
+        lines.append("")
+        lines.append("| stage | mean delta ms |")
+        lines.append("|---|---|")
+        for stage in STAGES:
+            lines.append(
+                f"| {stage} | {delta['stage_mean_ms'][stage]:+.4f} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def _analyze_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs analyze",
+        description="Critical-path analysis of a serving trace: stage "
+        "decomposition, per-model/per-layer attribution, slowest "
+        "requests, and two-trace diffs.",
+    )
+    parser.add_argument("trace", help="Chrome trace JSON (or .jsonl) path")
+    parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="TRACE2",
+        help="second trace: attribute the latency delta to a stage",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="slowest requests to list (default 10)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the deterministic JSON report here",
+    )
+    parser.add_argument(
+        "--md",
+        default=None,
+        metavar="PATH",
+        help="write the markdown summary here (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        analysis = analyze_trace(args.trace, top=args.top)
+        diff = None
+        if args.diff is not None:
+            other = analyze_trace(args.diff, top=args.top)
+            diff = diff_analyses(analysis, other)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = dict(analysis)
+    if diff is not None:
+        report["diff"] = diff
+    markdown = markdown_summary(analysis, diff)
+    if args.json is not None:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(report, indent=1, sort_keys=True) + "\n"
+        )
+    if args.md is not None:
+        path = Path(args.md)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(markdown)
+    else:
+        print(markdown, end="")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point: dispatch the ``analyze`` subcommand."""
+    argv = list(argv if argv is not None else sys.argv[1:])
+    usage = (
+        "usage: python -m repro.obs analyze TRACE [--diff TRACE2] "
+        "[--top N] [--json PATH] [--md PATH]"
+    )
+    if not argv:
+        print(usage, file=sys.stderr)
+        return 2
+    if argv[0] in ("-h", "--help"):
+        print(usage)
+        return 0
+    if argv[0] != "analyze":
+        print(
+            f"unknown subcommand {argv[0]!r} (known: analyze)",
+            file=sys.stderr,
+        )
+        return 2
+    return _analyze_main(argv[1:])
+
+
+__all__ = [
+    "STAGES",
+    "analyze_events",
+    "analyze_trace",
+    "diff_analyses",
+    "load_trace_events",
+    "main",
+    "markdown_summary",
+]

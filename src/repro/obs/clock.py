@@ -24,6 +24,7 @@ class WallClock:
         self._t0 = time.perf_counter()
 
     def now_us(self) -> float:
+        """Elapsed monotonic microseconds since the clock was built."""
         return (time.perf_counter() - self._t0) * 1e6
 
 
@@ -40,9 +41,11 @@ class VirtualClock:
         self._now_us = start_us
 
     def now_us(self) -> float:
+        """The current simulated instant in microseconds."""
         return self._now_us
 
     def advance_to_us(self, ts_us: float) -> float:
+        """Advance to ``ts_us`` (never backwards); returns the instant."""
         if ts_us > self._now_us:
             self._now_us = ts_us
         return self._now_us

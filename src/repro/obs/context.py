@@ -1,0 +1,110 @@
+"""Causal trace contexts: deterministic ids that link spans end to end.
+
+A :class:`TraceContext` is the correlation triple every traced event of
+one request carries in its ``args``: the request's ``trace_id``, the
+event's own ``span_id``, and the ``parent_id`` of the span that caused
+it.  The live serving plane threads one context through its full path —
+HTTP door -> admission -> queue -> batch former -> executor — so a
+single request is followable end to end in the Chrome trace, and the
+offline analysis CLI (``python -m repro.obs analyze``) can rebuild the
+causal chain without guessing at timestamps.
+
+Every id is a **pure function of the request identity and the span's
+position in the chain** (a keyed BLAKE2b digest over deterministic
+strings) — never a random source and never a wall clock — so two runs
+of the same simulation emit byte-identical ids, preserving the
+virtual-clock byte-determinism contract of :mod:`repro.obs.trace`.
+
+Batches are shared by several requests, so a batch span gets its own
+:func:`batch_id` derived from the pool model and the pool's dispatch
+sequence number; each member request's spans reference it by id rather
+than by parentage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+#: hex digits in every id (64-bit digests, Perfetto-friendly)
+ID_HEX_DIGITS = 16
+
+
+def _digest(text: str) -> str:
+    """A 64-bit hex digest of ``text`` — the deterministic id source."""
+    return hashlib.blake2b(
+        text.encode("utf-8"), digest_size=ID_HEX_DIGITS // 2
+    ).hexdigest()
+
+
+def trace_id_for(request_id: int) -> str:
+    """The trace id of one request, derived from its request id."""
+    return _digest(f"trace:request:{request_id}")
+
+
+def span_id_for(trace_id: str, parent_id: str, name: str) -> str:
+    """The span id of step ``name`` under ``parent_id`` in one trace."""
+    return _digest(f"span:{trace_id}:{parent_id}:{name}")
+
+
+def batch_id_for(model: str, seq: int) -> str:
+    """The id of one dispatched batch: pool model + dispatch sequence."""
+    return _digest(f"batch:{model}:{seq}")
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's coordinates in a request's causal chain."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+
+    @classmethod
+    def for_request(cls, request_id: int) -> "TraceContext":
+        """The root context of one request's trace.
+
+        The root span id is the digest of the trace id itself, so the
+        whole chain is reproducible from the request id alone.
+        """
+        trace_id = trace_id_for(request_id)
+        return cls(
+            trace_id=trace_id,
+            span_id=span_id_for(trace_id, "", "request"),
+        )
+
+    def child(self, name: str) -> "TraceContext":
+        """Derive the child context of causal step ``name``.
+
+        Deterministic: the child's span id is a digest of
+        ``(trace_id, this span id, name)``, so re-deriving the same
+        step twice yields the same id — callers need not carry
+        intermediate contexts around.
+        """
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=span_id_for(self.trace_id, self.span_id, name),
+            parent_id=self.span_id,
+        )
+
+    def args(self, **extra) -> dict:
+        """The trace-event ``args`` block carrying this context.
+
+        ``extra`` fields merge in after the correlation keys, so call
+        sites write ``ctx.args(request_id=..., reason=...)``.
+        """
+        block = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            block["parent_id"] = self.parent_id
+        block.update(extra)
+        return block
+
+
+__all__ = [
+    "ID_HEX_DIGITS",
+    "TraceContext",
+    "batch_id_for",
+    "span_id_for",
+    "trace_id_for",
+]

@@ -36,6 +36,7 @@ def configure(verbosity: int) -> int:
 
 
 def verbosity() -> int:
+    """The current process-wide verbosity level."""
     return _verbosity
 
 
@@ -53,22 +54,27 @@ class Logger:
         self.name = name
 
     def debug(self, message: str, **fields) -> None:
+        """Stdout at ``-v`` and above, prefixed with the logger name."""
         if _verbosity >= DEBUG:
             prefix = f"[{self.name}] " if self.name else ""
             print(prefix + _render(message, fields))
 
     def info(self, message: str, **fields) -> None:
+        """Stdout unless ``--quiet``."""
         if _verbosity >= INFO:
             print(_render(message, fields))
 
     def warning(self, message: str, **fields) -> None:
+        """Stderr, always — quiet runs keep their diagnostics."""
         print(_render(message, fields), file=sys.stderr)
 
     def error(self, message: str, **fields) -> None:
+        """Stderr, always."""
         print(_render(message, fields), file=sys.stderr)
 
 
 def get_logger(name: str = "") -> Logger:
+    """The process-wide logger called ``name``, created on first use."""
     if name not in _loggers:
         _loggers[name] = Logger(name)
     return _loggers[name]

@@ -27,16 +27,19 @@ ACTIVE: Optional["GemmProfiler"] = None
 
 
 def active() -> Optional["GemmProfiler"]:
+    """The installed profiler, or ``None`` when profiling is off."""
     return ACTIVE
 
 
 def activate(profiler: "GemmProfiler") -> "GemmProfiler":
+    """Install ``profiler`` process-wide; returns it for chaining."""
     global ACTIVE
     ACTIVE = profiler
     return profiler
 
 
 def deactivate() -> None:
+    """Uninstall the process-wide profiler."""
     global ACTIVE
     ACTIVE = None
 

@@ -1,0 +1,337 @@
+"""Rolling-window SLO monitoring with multi-window burn-rate alerts.
+
+The metrics registry (:mod:`repro.obs.metrics`) is cumulative: it can
+say what the p99 was over the whole run, but not that latency regressed
+*five seconds ago*.  :class:`SloMonitor` is the continuous view — a
+ring of fixed-width time buckets over completions, sheds, and latency,
+driven by the caller's clock (virtual milliseconds for the sim
+controller, wall milliseconds for real traffic), so a live plane can
+answer "are we about to violate the SLO?" at any instant and two
+identical sim runs snapshot byte-identically.
+
+The alerting model is the classic multi-window **burn rate** (the
+Google SRE workbook rule): with an objective of ``objective`` good
+requests (say 0.99), the error budget is ``1 - objective``; the burn
+rate over a window is the observed bad fraction divided by that
+budget, i.e. *how many times faster than sustainable the budget is
+being spent*.  A :class:`BurnRateRule` fires only when **both** its
+short and long windows exceed the threshold — the short window makes
+the alert fast, the long window keeps a transient blip from paging.
+The default rules are the 5m/1h and 30m/6h pair scaled down 60x (5s/1m
+and 30s/6m) so they resolve inside millisecond-scale simulated traces;
+pass your own rules for wall-clock deployments.
+
+A request is *bad* if it was shed at the door or completed over the
+latency threshold; both spend error budget.  Window percentiles come
+from fixed per-bucket latency histograms (the upper bound of the
+matching bucket), so the monitor's memory is O(buckets) no matter the
+traffic — exact percentiles stay the registry histograms' job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: latency histogram bounds per time bucket (ms) — powers-of-two-ish
+#: log scale wide enough for both sim (sub-ms) and wall traffic
+WINDOW_LATENCY_BOUNDS_MS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window burn-rate alert rule.
+
+    Fires when the burn rate over **both** ``short_ms`` and ``long_ms``
+    windows is at least ``threshold`` budget-multiples.
+    """
+
+    name: str
+    short_ms: float
+    long_ms: float
+    threshold: float
+
+    def __post_init__(self):
+        """Validate window ordering and threshold sign."""
+        if self.short_ms <= 0 or self.long_ms <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: windows must be positive, got "
+                f"short={self.short_ms}, long={self.long_ms}"
+            )
+        if self.short_ms >= self.long_ms:
+            raise ValueError(
+                f"rule {self.name!r}: the short window ({self.short_ms} "
+                f"ms) must be shorter than the long one ({self.long_ms} ms)"
+            )
+        if self.threshold <= 0:
+            raise ValueError(
+                f"rule {self.name!r}: threshold must be positive, got "
+                f"{self.threshold}"
+            )
+
+
+#: the 5m/1h + 30m/6h SRE-workbook pair, scaled 60x down to the
+#: millisecond regime of simulated traces (5s/1m fast, 30s/6m slow)
+DEFAULT_RULES: Tuple[BurnRateRule, ...] = (
+    BurnRateRule("fast", short_ms=5_000.0, long_ms=60_000.0,
+                 threshold=14.4),
+    BurnRateRule("slow", short_ms=30_000.0, long_ms=360_000.0,
+                 threshold=6.0),
+)
+
+
+class _Bucket:
+    """One fixed-width time bucket of the rolling window."""
+
+    __slots__ = (
+        "completed", "good", "shed", "latency_sum", "latency_max", "hist"
+    )
+
+    def __init__(self):
+        self.completed = 0
+        self.good = 0
+        self.shed = 0
+        self.latency_sum = 0.0
+        self.latency_max = 0.0
+        self.hist = [0] * (len(WINDOW_LATENCY_BOUNDS_MS) + 1)
+
+
+class SloMonitor:
+    """Rolling latency/shed/throughput windows with burn-rate alerts.
+
+    The monitor never reads a clock itself: every ``record_*`` and
+    ``snapshot`` call takes ``now_ms`` from the caller's timeline, so
+    the same code serves virtual (deterministic) and wall time.
+    Timestamps must be non-decreasing across calls — the serving plane
+    guarantees this by recording at completion/shed instants.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float,
+        objective: float = 0.99,
+        bucket_ms: float = 100.0,
+        rules: Sequence[BurnRateRule] = DEFAULT_RULES,
+    ):
+        """Build the monitor for one latency objective.
+
+        ``threshold_ms`` is the good/bad latency cut (typically the
+        p99 SLO); ``objective`` the required good fraction;
+        ``bucket_ms`` the rolling-window resolution.
+        """
+        if threshold_ms <= 0:
+            raise ValueError(
+                f"threshold_ms must be positive, got {threshold_ms}"
+            )
+        if not 0.0 < objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {objective}"
+            )
+        if bucket_ms <= 0:
+            raise ValueError(f"bucket_ms must be positive, got {bucket_ms}")
+        self.threshold_ms = threshold_ms
+        self.objective = objective
+        self.error_budget = 1.0 - objective
+        self.bucket_ms = bucket_ms
+        self.rules = tuple(rules)
+        self._horizon_ms = max(
+            [r.long_ms for r in self.rules] or [bucket_ms]
+        )
+        self._buckets: Dict[int, _Bucket] = {}
+        self._start_ms: Optional[float] = None
+        # lifetime totals (cheap, exact)
+        self.total_completed = 0
+        self.total_good = 0
+        self.total_shed = 0
+
+    # -- recording ----------------------------------------------------
+
+    def _bucket(self, now_ms: float) -> _Bucket:
+        if self._start_ms is None:
+            self._start_ms = now_ms
+        index = int(now_ms // self.bucket_ms)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = _Bucket()
+            self._prune(index)
+        return bucket
+
+    def _prune(self, newest_index: int) -> None:
+        """Drop buckets older than the longest window (bounded memory)."""
+        floor = newest_index - int(
+            math.ceil(self._horizon_ms / self.bucket_ms)
+        ) - 1
+        for index in [i for i in self._buckets if i < floor]:
+            del self._buckets[index]
+
+    def record_completion(self, now_ms: float, latency_ms: float) -> None:
+        """Record one completed request; bad if over the threshold."""
+        bucket = self._bucket(now_ms)
+        good = latency_ms <= self.threshold_ms
+        bucket.completed += 1
+        bucket.good += good
+        bucket.latency_sum += latency_ms
+        if latency_ms > bucket.latency_max:
+            bucket.latency_max = latency_ms
+        for i, bound in enumerate(WINDOW_LATENCY_BOUNDS_MS):
+            if latency_ms <= bound:
+                bucket.hist[i] += 1
+                break
+        else:
+            bucket.hist[-1] += 1
+        self.total_completed += 1
+        self.total_good += good
+
+    def record_shed(self, now_ms: float) -> None:
+        """Record one request shed at the door (always bad)."""
+        self._bucket(now_ms).shed += 1
+        self.total_shed += 1
+
+    # -- window math --------------------------------------------------
+
+    def _window_buckets(
+        self, now_ms: float, window_ms: float
+    ) -> List[_Bucket]:
+        first = int((now_ms - window_ms) // self.bucket_ms) + 1
+        last = int(now_ms // self.bucket_ms)
+        return [
+            self._buckets[i]
+            for i in range(first, last + 1)
+            if i in self._buckets
+        ]
+
+    def window(self, now_ms: float, window_ms: float) -> dict:
+        """Aggregate the trailing ``window_ms`` at instant ``now_ms``.
+
+        Returns requests/completed/shed/good/bad counts, the error
+        rate and burn rate, throughput over the *elapsed* portion of
+        the window (a window longer than the run so far does not dilute
+        the rate), and histogram-estimated p50/p95/p99 (each the upper
+        bound of its latency bucket; ``None`` with no completions).
+        """
+        buckets = self._window_buckets(now_ms, window_ms)
+        completed = sum(b.completed for b in buckets)
+        shed = sum(b.shed for b in buckets)
+        good = sum(b.good for b in buckets)
+        total = completed + shed
+        bad = total - good
+        error_rate = bad / total if total else 0.0
+        elapsed = window_ms
+        if self._start_ms is not None:
+            elapsed = min(window_ms, max(now_ms - self._start_ms, 0.0))
+        elapsed = max(elapsed, self.bucket_ms)
+        hist = [0] * (len(WINDOW_LATENCY_BOUNDS_MS) + 1)
+        for bucket in buckets:
+            for i, count in enumerate(bucket.hist):
+                hist[i] += count
+        max_ms = (
+            max(b.latency_max for b in buckets) if completed else None
+        )
+        return {
+            "window_ms": window_ms,
+            "requests": total,
+            "completed": completed,
+            "shed": shed,
+            "good": good,
+            "bad": bad,
+            "error_rate": error_rate,
+            "burn_rate": error_rate / self.error_budget,
+            "throughput_rps": completed / elapsed * 1e3,
+            "latency": {
+                "mean_ms": (
+                    sum(b.latency_sum for b in buckets) / completed
+                    if completed
+                    else None
+                ),
+                "p50_ms": _hist_percentile(hist, completed, 50.0, max_ms),
+                "p95_ms": _hist_percentile(hist, completed, 95.0, max_ms),
+                "p99_ms": _hist_percentile(hist, completed, 99.0, max_ms),
+                "max_ms": max_ms,
+            },
+        }
+
+    def burn_rate(self, now_ms: float, window_ms: float) -> float:
+        """The budget-spend multiple over the trailing window."""
+        return self.window(now_ms, window_ms)["burn_rate"]
+
+    def alerts(self, now_ms: float) -> List[dict]:
+        """Evaluate every rule at ``now_ms``; fired = both windows hot."""
+        out = []
+        for rule in self.rules:
+            short = self.burn_rate(now_ms, rule.short_ms)
+            long_ = self.burn_rate(now_ms, rule.long_ms)
+            out.append(
+                {
+                    "rule": rule.name,
+                    "short_ms": rule.short_ms,
+                    "long_ms": rule.long_ms,
+                    "threshold": rule.threshold,
+                    "short_burn_rate": short,
+                    "long_burn_rate": long_,
+                    "firing": bool(
+                        short >= rule.threshold and long_ >= rule.threshold
+                    ),
+                }
+            )
+        return out
+
+    def snapshot(self, now_ms: float) -> dict:
+        """The full deterministic report block at instant ``now_ms``."""
+        windows = sorted(
+            {r.short_ms for r in self.rules}
+            | {r.long_ms for r in self.rules}
+        )
+        total = self.total_completed + self.total_shed
+        return {
+            "threshold_ms": self.threshold_ms,
+            "objective": self.objective,
+            "error_budget": self.error_budget,
+            "bucket_ms": self.bucket_ms,
+            "now_ms": now_ms,
+            "totals": {
+                "requests": total,
+                "completed": self.total_completed,
+                "good": self.total_good,
+                "shed": self.total_shed,
+                "error_rate": (
+                    (total - self.total_good) / total if total else 0.0
+                ),
+            },
+            "windows": {
+                f"{w:g}ms": self.window(now_ms, w) for w in windows
+            },
+            "alerts": self.alerts(now_ms),
+        }
+
+
+def _hist_percentile(
+    hist: Sequence[int], count: int, q: float, overflow_ms: Optional[float]
+) -> Optional[float]:
+    """Upper-bound percentile estimate from merged bucket counts.
+
+    A rank landing in the overflow bucket reports the window's
+    observed maximum (``overflow_ms``) — finite, deterministic, and
+    never an understatement.
+    """
+    if count == 0:
+        return None
+    rank = math.ceil(q / 100.0 * count)
+    seen = 0
+    for i, bound in enumerate(WINDOW_LATENCY_BOUNDS_MS):
+        seen += hist[i]
+        if seen >= rank:
+            # never report an estimate above the observed maximum
+            return min(bound, overflow_ms)
+    return overflow_ms
+
+
+__all__ = [
+    "DEFAULT_RULES",
+    "WINDOW_LATENCY_BOUNDS_MS",
+    "BurnRateRule",
+    "SloMonitor",
+]

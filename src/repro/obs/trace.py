@@ -76,6 +76,7 @@ class Tracer:
         cat: str = "",
         args: Optional[dict] = None,
     ) -> None:
+        """One point-in-time marker (the ``i`` phase)."""
         event = {
             "name": name,
             "ph": "i",
@@ -139,6 +140,7 @@ class Tracer:
         cat: str = "",
         args: Optional[dict] = None,
     ) -> None:
+        """Open a nested span on ``tid``; close it with :meth:`end`."""
         event = {"name": name, "ph": "B", "ts": self._ts(ts_us), "tid": tid}
         if cat:
             event["cat"] = cat
@@ -148,6 +150,7 @@ class Tracer:
         self._open.setdefault(tid, []).append(name)
 
     def end(self, ts_us: Optional[float] = None, tid: int = 0) -> None:
+        """Close the innermost open span on ``tid``."""
         stack = self._open.get(tid, [])
         if not stack:
             raise ValueError(f"end() with no open span on track {tid}")
@@ -189,9 +192,11 @@ class Tracer:
         return [{k: v for k, v in e.items() if k != "_seq"} for e in ordered]
 
     def chrome_trace(self) -> dict:
+        """The Chrome trace-event object Perfetto loads directly."""
         return {"displayTimeUnit": "ms", "traceEvents": self.events()}
 
     def write_chrome(self, path: Union[str, Path]) -> Path:
+        """Write :meth:`chrome_trace` to ``path`` (sorted keys, stable)."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(
@@ -200,6 +205,7 @@ class Tracer:
         return path
 
     def write_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write the events one JSON object per line to ``path``."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         lines = [json.dumps(e, sort_keys=True) for e in self.events()]
@@ -219,18 +225,22 @@ class NullTracer(Tracer):
         pass
 
     def begin(self, *args, **kwargs) -> None:
-        pass
+        """No-op."""
 
     def end(self, *args, **kwargs) -> None:
-        pass
+        """No-op."""
 
     @contextmanager
     def span(self, name, tid=0, cat="", args=None):
+        """No-op span: yields the tracer, records nothing."""
         yield self
 
 
 class _ZeroClock:
+    """The disabled tracer's clock: always zero."""
+
     def now_us(self) -> float:
+        """Zero, always."""
         return 0.0
 
 

@@ -443,6 +443,9 @@ def _live_main(argv) -> int:
     obs = obslib.obs_from_cli(
         args.trace, args.metrics, virtual_time=(timeline.kind == "virtual")
     )
+    # the rolling-window monitor keys good/bad on the p99 SLO; its
+    # snapshot lands in the report and serves GET /slo live
+    slo = obslib.SloMonitor(threshold_ms=args.slo_p99)
     try:
         plane = ServePlane(
             machine,
@@ -453,6 +456,7 @@ def _live_main(argv) -> int:
             use_tuned=args.use_tuned,
             obs=obs,
             mock_service_ms=args.mock_service,
+            slo=slo,
         )
     except ValueError as exc:
         log.error(str(exc))
@@ -509,6 +513,15 @@ def _live_main(argv) -> int:
         f"{'n/a' if p99 is None else f'{p99:.2f} ms'} "
         f"(SLO {'met' if report['slo_met'] else 'MISSED'})"
     )
+    firing = [
+        a["rule"]
+        for a in report.get("slo_monitor", {}).get("alerts", [])
+        if a["firing"]
+    ]
+    if firing:
+        log.warning(
+            f"burn-rate alerts firing at end of run: {', '.join(firing)}"
+        )
     log.info(f"wrote {json_path}")
     if obs is not None:
         for path in obs.write_outputs():

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -57,17 +57,33 @@ class AdmissionPolicy:
         batches, each wave costing the controller's full-batch service
         estimate.
         """
+        reason, _ = self.evaluate(pool, now_ms)
+        return reason
+
+    def evaluate(
+        self, pool, now_ms: float
+    ) -> Tuple[Optional[str], dict]:
+        """The decision plus the evidence it was made on.
+
+        Returns ``(reason, detail)`` where ``reason`` is ``None`` on
+        admit and ``detail`` always carries the gate inputs — queue
+        depth and (when the deadline gate is armed) the latency
+        projection — so the admission trace span records *why*, not
+        just *what*.
+        """
         depth = pool.queue_depth()
+        detail: dict = {"queue_depth": depth}
         if (
             self.max_queue_depth is not None
             and depth >= self.max_queue_depth
         ):
-            return "queue_depth"
+            return "queue_depth", detail
         if self.deadline_ms is not None:
             estimate = pool.estimated_latency_ms(depth + 1)
+            detail["estimated_ms"] = estimate
             if estimate > self.deadline_ms:
-                return "deadline"
-        return None
+                return "deadline", detail
+        return None, detail
 
     def describe(self) -> dict:
         """The report block for this policy."""

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.obs import Obs
+from repro.obs import Obs, TraceContext, batch_id_for
 
 from .traffic import Request
 
@@ -63,12 +63,19 @@ class ServedRequest:
 
 @dataclass(frozen=True)
 class ExecutedBatch:
-    """One dispatched batch: where, when, how big, how long."""
+    """One dispatched batch: where, when, how big, how long.
+
+    ``formed_ms`` is the instant the replica became available to the
+    head request (``max(replica free, head arrival)``) — forming begins
+    there, so member queue-wait ends and batch-wait starts at that
+    boundary, mirroring the live plane's definition.
+    """
 
     replica: int
     size: int
     dispatch_ms: float
     service_ms: float
+    formed_ms: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -180,6 +187,7 @@ def simulate_serving(
                 size=size,
                 dispatch_ms=dispatch,
                 service_ms=service,
+                formed_ms=ready,
             )
         )
         free[replica] = completion
@@ -205,7 +213,12 @@ def emit_serving_obs(result: ServingResult, obs: Obs) -> None:
 
     Every timestamp comes from the simulation itself (milliseconds
     scaled to trace microseconds), never from a wall clock, so two runs
-    of the same (trace, config) produce byte-identical exports.
+    of the same (trace, config) produce byte-identical exports.  Every
+    request event carries its :class:`repro.obs.TraceContext`
+    correlation ids (chain ``arrive -> queued -> execute``; no
+    admission gate offline) plus the deterministic ``batch_id`` of the
+    batch that served it, and batch spans carry their forming instant —
+    the same schema the live plane emits, so one analyzer reads both.
     """
     tracer = obs.tracer
     scale = 1e3  # sim milliseconds -> trace microseconds
@@ -215,30 +228,47 @@ def emit_serving_obs(result: ServingResult, obs: Obs) -> None:
     for r in replicas:
         tracer.metadata("thread_name", f"replica {r}", tid=r + 1)
 
+    # served order is batch order (members append consecutively), so
+    # a request's batch id falls out of the cumulative batch sizes
+    batch_ids = [
+        batch_id_for("sim", seq) for seq in range(len(result.batches))
+    ]
+    request_batch: List[str] = []
+    for seq, batch in enumerate(result.batches):
+        request_batch.extend([batch_ids[seq]] * batch.size)
+
     depth_deltas: List[Tuple[float, int, int]] = []
     for order, s in enumerate(result.served):
         arrival = s.request.arrival_ms * scale
         dispatch = s.dispatch_ms * scale
         completion = s.completion_ms * scale
+        bid = request_batch[order]
+        ctx = TraceContext.for_request(s.request.request_id)
+        queued_ctx = ctx.child("queued")
+        exec_ctx = queued_ctx.child("execute")
         args = {"request_id": s.request.request_id}
-        tracer.instant("arrive", ts_us=arrival, tid=QUEUE_TRACK, args=args)
+        tracer.instant(
+            "arrive", ts_us=arrival, tid=QUEUE_TRACK, args=ctx.args(**args)
+        )
         tracer.complete(
             "queued",
             ts_us=arrival,
             dur_us=dispatch - arrival,
             tid=QUEUE_TRACK,
             cat="request",
-            args={**args, "batch_size": s.batch_size},
+            args=queued_ctx.args(
+                **args, batch_size=s.batch_size, batch_id=bid
+            ),
         )
         tracer.instant(
             "complete",
             ts_us=completion,
             tid=s.replica + 1,
-            args=args,
+            args=exec_ctx.args(**args, batch_id=bid),
         )
         depth_deltas.append((s.request.arrival_ms, order, +1))
         depth_deltas.append((s.dispatch_ms, order, -1))
-    for batch in result.batches:
+    for seq, batch in enumerate(result.batches):
         dispatch = batch.dispatch_ms * scale
         tracer.complete(
             "batch",
@@ -246,7 +276,12 @@ def emit_serving_obs(result: ServingResult, obs: Obs) -> None:
             dur_us=batch.service_ms * scale,
             tid=batch.replica + 1,
             cat="batch",
-            args={"size": batch.size, "service_ms": batch.service_ms},
+            args={
+                "size": batch.size,
+                "service_ms": batch.service_ms,
+                "batch_id": batch_ids[seq],
+                "formed_ms": batch.formed_ms,
+            },
         )
         occupancy = f"occupancy_r{batch.replica}"
         tracer.counter(occupancy, batch.size, ts_us=dispatch)

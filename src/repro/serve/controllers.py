@@ -22,7 +22,7 @@ runs identically against any of them:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from .executor import ModelExecutor
 
@@ -53,6 +53,15 @@ class Controller:
         await self.timeline.sleep_until(self.timeline.now_ms() + service_ms)
         return service_ms
 
+    def layer_breakdown_ms(self, batch: int) -> Optional[Dict[str, float]]:
+        """Per-layer millisecond attribution of one batch, if priced.
+
+        ``None`` when the controller has no layer model (the mock);
+        model-backed controllers return the executor's breakdown, which
+        the batch trace span carries for offline analysis.
+        """
+        return None
+
 
 class SimController(Controller):
     """Virtual-time execution priced by the batched threaded cost model."""
@@ -67,6 +76,10 @@ class SimController(Controller):
     def service_estimate_ms(self, batch: int) -> float:
         """The exact modelled milliseconds of one batched forward pass."""
         return self.executor.batch_time_ms(batch)
+
+    def layer_breakdown_ms(self, batch: int) -> Optional[Dict[str, float]]:
+        """The executor's per-layer attribution (sums to the estimate)."""
+        return self.executor.layer_breakdown_ms(batch)
 
 
 class RealController(SimController):

@@ -112,6 +112,21 @@ class ModelExecutor:
             total_seconds += seconds
         return total_seconds * 1e3
 
+    def layer_breakdown_ms(self, batch: int) -> Dict[str, float]:
+        """Per-layer milliseconds of one batched forward pass.
+
+        Keys are layer ids (as strings, JSON-stable), values the
+        instance-weighted modelled milliseconds — the attribution the
+        batch trace span carries, summing exactly to
+        :meth:`batch_time_ms`.
+        """
+        layers: Dict[str, float] = {}
+        for _, layer in self.instances:
+            seconds, _ = self.layer_time(layer, batch)
+            key = str(layer.layer_id)
+            layers[key] = layers.get(key, 0.0) + seconds * 1e3
+        return layers
+
     def _main_tile_for(
         self, m: int, n: int, k: int
     ) -> Optional[Tuple[int, int]]:

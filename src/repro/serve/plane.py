@@ -25,6 +25,18 @@ record.
 Request lifecycle spans, queue-depth series, and shed/admit counters
 land in :mod:`repro.obs` when a bundle is attached; the shed counters
 are the observable signature of an infeasible SLO.
+
+Every traced event additionally carries a **causal context**
+(:class:`repro.obs.TraceContext`): the request's deterministic trace id
+plus span/parent ids for each step of the chain
+``arrive -> admit|shed -> queued -> execute``, and batch spans carry a
+:func:`repro.obs.batch_id_for` id, their forming instant, and the
+controller's per-layer attribution — everything the offline analyzer
+(``python -m repro.obs analyze``) needs to decompose one request's
+latency into admission / queue-wait / batch-wait / service.  When a
+:class:`repro.obs.SloMonitor` is attached, completions and sheds feed
+its rolling windows, ``GET /slo`` serves the live snapshot, and the
+final report embeds it.
 """
 
 from __future__ import annotations
@@ -37,7 +49,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.machine import MachineModel
-from repro.obs import Obs
+from repro.obs import Obs, SloMonitor, TraceContext, batch_id_for
 
 from .admission import AdmissionPolicy, estimated_latency_ms
 from .batcher import LATENCY_BUCKETS_MS
@@ -51,9 +63,13 @@ _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
+    413: "Payload Too Large",
     429: "Too Many Requests",
     503: "Service Unavailable",
 }
+
+#: the front door rejects request bodies larger than this (413)
+MAX_BODY_BYTES = 1 << 20
 
 
 @dataclass(frozen=True)
@@ -126,24 +142,39 @@ class SheddedRequest:
 
 @dataclass(frozen=True)
 class LiveBatch:
-    """One dispatched batch on one replica."""
+    """One dispatched batch on one replica.
+
+    ``formed_ms`` is the instant the batch former acquired the replica
+    and began holding the batch open — the boundary between a member
+    request's queue-wait and its batch-wait.  ``batch_id`` is the
+    deterministic causal id member spans reference.
+    """
 
     model: str
     replica: int
     size: int
     dispatch_ms: float
     service_ms: float
+    formed_ms: Optional[float] = None
+    batch_id: str = ""
 
 
 class _QueuedRequest:
     """A queued arrival and the future its response resolves."""
 
-    __slots__ = ("request_id", "arrival_ms", "future")
+    __slots__ = ("request_id", "arrival_ms", "future", "ctx")
 
-    def __init__(self, request_id: int, arrival_ms: float, future):
+    def __init__(
+        self,
+        request_id: int,
+        arrival_ms: float,
+        future,
+        ctx: Optional[TraceContext] = None,
+    ):
         self.request_id = request_id
         self.arrival_ms = arrival_ms
         self.future = future
+        self.ctx = ctx
 
 
 class ReplicaPool:
@@ -163,12 +194,14 @@ class ReplicaPool:
         timeline,
         obs: Optional[Obs] = None,
         track_base: int = 0,
+        slo: Optional[SloMonitor] = None,
     ):
         """Bind the pool to its controller, timeline, and trace tracks."""
         self.spec = spec
         self.controller = controller
         self.timeline = timeline
         self.obs = obs
+        self.slo = slo
         self.track_base = track_base  # queue track; replica r is base+1+r
         self.queue: Deque[_QueuedRequest] = deque()
         self.free: List[int] = list(range(spec.replicas))
@@ -181,6 +214,7 @@ class ReplicaPool:
         self._drain_wake = None
         self._dispatcher = None
         self._outstanding = 0  # batches spawned but not finished
+        self._batch_seq = 0  # dispatch sequence, names batch ids
 
     # -- admission inputs ---------------------------------------------
 
@@ -236,6 +270,7 @@ class ReplicaPool:
             if not self.queue:
                 return  # closing, fully drained
             replica = await self._acquire_replica()
+            formed_ms = self.timeline.now_ms()  # forming begins here
             head = self.queue[0]
             close_ms = head.arrival_ms + self.spec.max_wait_ms
             while (
@@ -253,7 +288,7 @@ class ReplicaPool:
             self._emit_queue_depth()
             self.in_flight += 1
             self._outstanding += 1
-            self.timeline.spawn(self._run_batch(replica, items))
+            self.timeline.spawn(self._run_batch(replica, items, formed_ms))
 
     async def _acquire_replica(self) -> int:
         while not self.free:
@@ -271,8 +306,10 @@ class ReplicaPool:
             self.timeline.fire(wake, replica)
 
     async def _run_batch(
-        self, replica: int, items: List[_QueuedRequest]
+        self, replica: int, items: List[_QueuedRequest], formed_ms: float
     ) -> None:
+        seq = self._batch_seq
+        self._batch_seq += 1
         dispatch_ms = self.timeline.now_ms()
         service_ms = await self.controller.execute(len(items))
         completion_ms = self.timeline.now_ms()
@@ -282,6 +319,8 @@ class ReplicaPool:
             size=len(items),
             dispatch_ms=dispatch_ms,
             service_ms=service_ms,
+            formed_ms=formed_ms,
+            batch_id=batch_id_for(self.spec.model, seq),
         )
         self.batches.append(batch)
         for item in items:
@@ -295,6 +334,10 @@ class ReplicaPool:
                 completion_ms=completion_ms,
             )
             self.served.append(record)
+            if self.slo is not None:
+                self.slo.record_completion(
+                    completion_ms, completion_ms - item.arrival_ms
+                )
             self.timeline.fire(item.future, record)
         self.in_flight -= 1
         self._release_replica(replica)
@@ -345,29 +388,58 @@ class ReplicaPool:
             return
         scale = 1e3  # plane milliseconds -> trace microseconds
         replica_track = self.track_base + 1 + batch.replica
+        batch_args = {
+            "size": batch.size,
+            "service_ms": batch.service_ms,
+            "batch_id": batch.batch_id,
+            "model": batch.model,
+            "formed_ms": batch.formed_ms,
+        }
+        layers = self.controller.layer_breakdown_ms(batch.size)
+        if layers is not None:
+            batch_args["layers"] = layers
         tracer.complete(
             "batch",
             ts_us=batch.dispatch_ms * scale,
             dur_us=batch.service_ms * scale,
             tid=replica_track,
             cat="batch",
-            args={"size": batch.size, "service_ms": batch.service_ms},
+            args=batch_args,
         )
         for item in items:
+            # re-derive the causal chain from the stored root context:
+            # arrive(root) -> admit -> queued -> execute
+            queued_ctx = exec_ctx = None
+            if item.ctx is not None:
+                queued_ctx = item.ctx.child("admit").child("queued")
+                exec_ctx = queued_ctx.child("execute")
             args = {"request_id": item.request_id}
+            queued_args = {
+                **args, "batch_size": batch.size,
+                "batch_id": batch.batch_id,
+            }
             tracer.complete(
                 "queued",
                 ts_us=item.arrival_ms * scale,
                 dur_us=(batch.dispatch_ms - item.arrival_ms) * scale,
                 tid=self.track_base,
                 cat="request",
-                args={**args, "batch_size": batch.size},
+                args=(
+                    queued_ctx.args(**queued_args)
+                    if queued_ctx is not None
+                    else queued_args
+                ),
             )
+            exec_args = {**args, "batch_id": batch.batch_id}
             tracer.instant(
                 "complete",
                 ts_us=completion_ms * scale,
                 tid=replica_track,
-                args=args,
+                args=(
+                    exec_ctx.args(**exec_args)
+                    if exec_ctx is not None
+                    else exec_args
+                ),
             )
 
 
@@ -389,6 +461,7 @@ class ServePlane:
         use_tuned: bool = False,
         obs: Optional[Obs] = None,
         mock_service_ms: float = 1.0,
+        slo: Optional[SloMonitor] = None,
     ):
         """Build pools, controllers, and executors on ``machine``."""
         if not pools:
@@ -407,6 +480,7 @@ class ServePlane:
         self.controller_kind = controller
         self.admission = admission
         self.obs = obs
+        self.slo = slo
         self.pools: Dict[str, ReplicaPool] = {}
         total_replicas = sum(spec.replicas for spec in pools)
         executors = []
@@ -431,7 +505,8 @@ class ServePlane:
                 mock_service_ms=mock_service_ms,
             )
             self.pools[spec.model] = ReplicaPool(
-                spec, ctrl, timeline, obs=obs, track_base=track_base
+                spec, ctrl, timeline, obs=obs, track_base=track_base,
+                slo=slo,
             )
             track_base += spec.replicas + 1
         if executors:
@@ -481,10 +556,20 @@ class ServePlane:
         self._next_id = max(self._next_id, request_id) + 1
         self.arrived += 1
         self._count("serve.live.arrived", "requests that reached the plane")
-        reason = (
-            self.admission.decide(pool, now_ms)
+        tracing = self.obs is not None and self.obs.tracer.enabled
+        ctx = TraceContext.for_request(request_id) if tracing else None
+        if tracing:
+            # every arrival opens a causal chain, shed or admitted
+            self.obs.tracer.instant(
+                "arrive",
+                ts_us=now_ms * 1e3,
+                tid=pool.track_base,
+                args=ctx.args(request_id=request_id, model=model),
+            )
+        reason, detail = (
+            self.admission.evaluate(pool, now_ms)
             if self.admission.enabled
-            else None
+            else (None, {})
         )
         if reason is not None:
             record = SheddedRequest(
@@ -494,22 +579,26 @@ class ServePlane:
                 reason=reason,
             )
             self.shed.append(record)
+            if self.slo is not None:
+                self.slo.record_shed(now_ms)
             self._count("serve.live.shed", "requests rejected at the door")
             self._count(
                 f"serve.live.shed.{reason}", f"sheds for reason {reason}"
             )
             self._count(f"serve.live.{model}.shed", f"{model} sheds")
-            if self.obs is not None and self.obs.tracer.enabled:
+            if tracing:
                 self.obs.tracer.instant(
                     "shed",
                     ts_us=now_ms * 1e3,
                     tid=pool.track_base,
                     cat="admission",
-                    args={"request_id": request_id, "reason": reason},
+                    args=ctx.child("shed").args(
+                        request_id=request_id, reason=reason, **detail
+                    ),
                 )
             return record
         future = self.timeline.create_future()
-        pool.submit(_QueuedRequest(request_id, now_ms, future))
+        pool.submit(_QueuedRequest(request_id, now_ms, future, ctx=ctx))
         self._count("serve.live.admitted", "requests admitted to a queue")
         self._count(f"serve.live.{model}.admitted", f"{model} admissions")
         if self.obs is not None:
@@ -517,12 +606,15 @@ class ServePlane:
                 "serve.live.queue_depth",
                 help="pool queue depth (max observed)",
             ).set(pool.queue_depth())
-            if self.obs.tracer.enabled:
+            if tracing:
                 self.obs.tracer.instant(
-                    "arrive",
+                    "admit",
                     ts_us=now_ms * 1e3,
                     tid=pool.track_base,
-                    args={"request_id": request_id},
+                    cat="admission",
+                    args=ctx.child("admit").args(
+                        request_id=request_id, **detail
+                    ),
                 )
         return future
 
@@ -550,6 +642,14 @@ class ServePlane:
             if self.obs is None:
                 return 404, "text/plain", "metrics are not enabled\n"
             return 200, "text/plain", self.obs.metrics.prometheus_text()
+        if method == "GET" and path == "/slo":
+            if self.slo is None:
+                return 404, "application/json", json.dumps(
+                    {"error": "the SLO monitor is not enabled"}
+                )
+            return 200, "application/json", json.dumps(
+                self.slo.snapshot(self.timeline.now_ms()), sort_keys=True
+            )
         if method == "POST" and path == "/v1/infer":
             try:
                 payload = json.loads(body or b"{}")
@@ -603,10 +703,19 @@ class ServePlane:
                 key, _, value = line.decode("latin-1").partition(":")
                 headers[key.strip().lower()] = value.strip()
             length = int(headers.get("content-length", "0"))
-            body = await reader.readexactly(length) if length else b""
-            status, ctype, payload = await self.handle_http(
-                method, path, body
-            )
+            if length > MAX_BODY_BYTES:
+                # reject before reading: an oversized body never
+                # reaches the router or the admission gate
+                status, ctype, payload = 413, "application/json", json.dumps(
+                    {"error": "body too large",
+                     "limit_bytes": MAX_BODY_BYTES},
+                    sort_keys=True,
+                )
+            else:
+                body = await reader.readexactly(length) if length else b""
+                status, ctype, payload = await self.handle_http(
+                    method, path, body
+                )
             data = payload.encode()
             head = (
                 f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
@@ -845,7 +954,7 @@ def live_report(
     slo_met = bool(
         latencies and totals["latency"]["p99_ms"] <= slo_p99_ms
     )
-    return {
+    report = {
         "plane": {
             "controller": plane.controller_kind,
             "timeline": plane.timeline.kind,
@@ -862,3 +971,8 @@ def live_report(
         "totals": totals,
         "per_model": per_model,
     }
+    if plane.slo is not None:
+        # the rolling-window view at the final timeline instant —
+        # deterministic under the virtual clock
+        report["slo_monitor"] = plane.slo.snapshot(plane.timeline.now_ms())
+    return report

@@ -1,0 +1,367 @@
+"""Tests for the offline trace analyzer (repro.obs.analyze).
+
+The load-bearing invariants:
+
+* the four critical-path stages — admission, queue wait, batch wait,
+  service — sum to each request's latency **exactly**, with forming
+  instants clamped into causal order;
+* the analyzer reads both exporter formats (Chrome object JSON and the
+  JSONL event log) and produces byte-identical reports from either;
+* analyzing the same trace twice is byte-identical (no wall clock
+  anywhere), which is what the CI obs-smoke ``cmp`` relies on;
+* ``--diff`` attributes a latency delta to the stage that moved — a
+  bigger batch window must show up as ``batch_wait_ms``;
+* the CLI exits 0 on success, 2 on unreadable input or bad usage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs as obslib
+from repro.isa.machine import CARMEL
+from repro.obs.analyze import (
+    STAGES,
+    analyze_events,
+    analyze_trace,
+    diff_analyses,
+    load_trace_events,
+    main,
+    markdown_summary,
+)
+from repro.serve import (
+    AdmissionPolicy,
+    PoolSpec,
+    ServePlane,
+    VirtualTimeline,
+    run_trace,
+    synthetic_trace,
+)
+
+
+def _chain_events(
+    request_id: int,
+    arrive_ms: float,
+    admit_ms: float,
+    complete_ms: float,
+    batch_id: str = "b1",
+    model: str = "resnet50",
+) -> list:
+    """One admitted request's chain in raw trace-event form (ts in us)."""
+    return [
+        {
+            "name": "arrive",
+            "ph": "i",
+            "ts": arrive_ms * 1e3,
+            "pid": 0,
+            "tid": 0,
+            "args": {"request_id": request_id, "model": model},
+        },
+        {
+            "name": "admit",
+            "ph": "i",
+            "ts": admit_ms * 1e3,
+            "pid": 0,
+            "tid": 0,
+            "args": {"request_id": request_id},
+        },
+        {
+            "name": "queued",
+            "ph": "X",
+            "ts": admit_ms * 1e3,
+            "dur": (complete_ms - admit_ms) * 1e3,
+            "pid": 0,
+            "tid": 0,
+            "args": {"request_id": request_id, "batch_id": batch_id},
+        },
+        {
+            "name": "complete",
+            "ph": "i",
+            "ts": complete_ms * 1e3,
+            "pid": 0,
+            "tid": 0,
+            "args": {"request_id": request_id, "batch_id": batch_id},
+        },
+    ]
+
+
+def _batch_event(
+    batch_id: str,
+    dispatch_ms: float,
+    service_ms: float,
+    formed_ms=None,
+    **extra,
+) -> dict:
+    event = {
+        "name": "batch",
+        "ph": "X",
+        "ts": dispatch_ms * 1e3,
+        "dur": service_ms * 1e3,
+        "pid": 0,
+        "tid": 1,
+        "args": {"batch_id": batch_id, "size": 1, **extra},
+    }
+    if formed_ms is not None:
+        event["args"]["formed_ms"] = formed_ms
+    return event
+
+
+class TestStageDecomposition:
+    def test_stages_sum_to_latency_exactly(self):
+        events = _chain_events(1, 0.0, 1.0, 9.0) + [
+            _batch_event("b1", 5.0, 4.0, formed_ms=3.0)
+        ]
+        report = analyze_events(events)
+        (row,) = report["slowest"]
+        assert row["stages"]["admission_ms"] == pytest.approx(1.0)
+        assert row["stages"]["queue_wait_ms"] == pytest.approx(2.0)
+        assert row["stages"]["batch_wait_ms"] == pytest.approx(2.0)
+        assert row["stages"]["service_ms"] == pytest.approx(4.0)
+        assert sum(row["stages"].values()) == pytest.approx(
+            row["latency_ms"]
+        )
+
+    def test_forming_instant_is_clamped_into_causal_order(self):
+        # formed_ms before the admit instant: the whole pre-dispatch
+        # span must land in batch wait, never a negative queue wait
+        events = _chain_events(1, 0.0, 2.0, 9.0) + [
+            _batch_event("b1", 5.0, 4.0, formed_ms=1.0)
+        ]
+        stages = analyze_events(events)["slowest"][0]["stages"]
+        assert stages["queue_wait_ms"] == 0.0
+        assert stages["batch_wait_ms"] == pytest.approx(3.0)
+        assert sum(stages.values()) == pytest.approx(9.0)
+
+    def test_missing_formed_ms_degrades_to_zero_batch_wait(self):
+        events = _chain_events(1, 0.0, 1.0, 9.0) + [
+            _batch_event("b1", 5.0, 4.0)
+        ]
+        stages = analyze_events(events)["slowest"][0]["stages"]
+        assert stages["batch_wait_ms"] == 0.0
+        assert stages["queue_wait_ms"] == pytest.approx(4.0)
+        assert sum(stages.values()) == pytest.approx(9.0)
+
+    def test_shed_requests_are_counted_not_decomposed(self):
+        events = [
+            {
+                "name": "arrive",
+                "ph": "i",
+                "ts": 0.0,
+                "pid": 0,
+                "tid": 0,
+                "args": {"request_id": 7, "model": "resnet50"},
+            },
+            {
+                "name": "shed",
+                "ph": "i",
+                "ts": 100.0,
+                "pid": 0,
+                "tid": 0,
+                "args": {"request_id": 7, "reason": "deadline"},
+            },
+        ]
+        report = analyze_events(events)
+        assert report["requests"] == {
+            "seen": 1,
+            "completed": 0,
+            "shed": 1,
+            "with_trace_id": 0,
+        }
+        assert report["sheds"]["reasons"] == {"deadline": 1}
+        assert report["latency"]["mean_ms"] is None
+
+    def test_per_layer_attribution_sums_and_sorts(self):
+        events = _chain_events(1, 0.0, 0.0, 10.0) + [
+            _batch_event(
+                "b1", 2.0, 8.0, formed_ms=1.0,
+                layers={"0": 6.0, "1": 2.0},
+            )
+        ]
+        per_layer = analyze_events(events)["per_layer"]
+        assert [row["layer"] for row in per_layer] == ["0", "1"]
+        assert per_layer[0]["share"] == pytest.approx(0.75)
+
+    def test_empty_trace_analyzes_without_error(self):
+        report = analyze_events([])
+        assert report["requests"]["seen"] == 0
+        assert report["stages"]["service_ms"]["total_ms"] == 0.0
+        md = markdown_summary(report)
+        assert "0 completed" in md
+
+
+class TestDiff:
+    def _single_stage_report(self, batch_wait_ms: float) -> dict:
+        dispatch = 1.0 + batch_wait_ms
+        events = _chain_events(1, 0.0, 1.0, dispatch + 4.0) + [
+            _batch_event("b1", dispatch, 4.0, formed_ms=1.0)
+        ]
+        return analyze_events(events)
+
+    def test_delta_lands_on_the_stage_that_moved(self):
+        fast = self._single_stage_report(batch_wait_ms=0.5)
+        slow = self._single_stage_report(batch_wait_ms=3.5)
+        diff = diff_analyses(fast, slow)
+        assert diff["dominant_stage"] == "batch_wait_ms"
+        assert diff["delta"]["stage_mean_ms"]["batch_wait_ms"] == (
+            pytest.approx(3.0)
+        )
+        assert diff["delta"]["mean_latency_ms"] == pytest.approx(3.0)
+        assert diff["delta"]["stage_mean_ms"]["service_ms"] == (
+            pytest.approx(0.0)
+        )
+
+    def test_markdown_renders_the_diff_block(self):
+        fast = self._single_stage_report(0.5)
+        slow = self._single_stage_report(3.5)
+        md = markdown_summary(fast, diff_analyses(fast, slow))
+        assert "## Diff" in md
+        assert "**batch_wait_ms**" in md
+
+
+def _traced_plane_run(max_batch: int = 4, rate: float = 40.0):
+    """One deterministic mock-controller run with tracing enabled."""
+    obs = obslib.Obs(tracer=obslib.Tracer(clock=obslib.VirtualClock()))
+    plane = ServePlane(
+        CARMEL,
+        [PoolSpec("resnet50", 2, 4, max_batch=max_batch, max_wait_ms=4.0)],
+        VirtualTimeline(),
+        controller="mock",
+        admission=AdmissionPolicy(),
+        obs=obs,
+        mock_service_ms=3.0,
+    )
+    trace = synthetic_trace(rate, 800.0, seed=11)
+    arrivals = [("resnet50", request) for request in trace]
+    result = run_trace(plane, arrivals)
+    return obs, result
+
+
+class TestEndToEnd:
+    def test_live_trace_round_trips_through_the_analyzer(self, tmp_path):
+        obs, result = _traced_plane_run()
+        trace_path = obs.tracer.write_chrome(tmp_path / "live.trace.json")
+        report = analyze_trace(trace_path)
+        assert report["requests"]["completed"] == len(result.served)
+        assert report["requests"]["seen"] == result.arrived
+        # every request carries a trace id — the causal chain is complete
+        assert report["requests"]["with_trace_id"] == result.arrived
+        assert report["batches"]["count"] == len(result.batches)
+        for row in report["slowest"]:
+            assert sum(row["stages"].values()) == pytest.approx(
+                row["latency_ms"]
+            )
+            assert {link["event"] for link in row["chain"]} == {
+                "arrive",
+                "admit",
+                "queued",
+                "complete",
+            }
+
+    def test_json_and_jsonl_exports_analyze_identically(self, tmp_path):
+        obs, _ = _traced_plane_run()
+        chrome = obs.tracer.write_chrome(tmp_path / "t.trace.json")
+        jsonl = obs.tracer.write_jsonl(tmp_path / "t.trace.jsonl")
+        a = analyze_events(load_trace_events(chrome))
+        b = analyze_events(load_trace_events(jsonl))
+        assert json.dumps(a, sort_keys=True) == json.dumps(
+            b, sort_keys=True
+        )
+
+    def test_analysis_is_byte_deterministic(self, tmp_path):
+        obs, _ = _traced_plane_run()
+        path = obs.tracer.write_chrome(tmp_path / "t.trace.json")
+        dumps = [
+            json.dumps(analyze_trace(path), indent=1, sort_keys=True)
+            for _ in range(2)
+        ]
+        assert dumps[0] == dumps[1]
+
+    def test_diff_attributes_batch_window_change(self, tmp_path):
+        paths = []
+        for max_batch in (1, 8):
+            obs, _ = _traced_plane_run(max_batch=max_batch)
+            paths.append(
+                obs.tracer.write_chrome(
+                    tmp_path / f"mb{max_batch}.trace.json"
+                )
+            )
+        diff = diff_analyses(
+            analyze_trace(paths[0]), analyze_trace(paths[1])
+        )
+        assert diff["dominant_stage"] == "batch_wait_ms"
+        assert diff["delta"]["stage_mean_ms"]["batch_wait_ms"] > 0.0
+
+
+class TestCli:
+    def _trace_file(self, tmp_path):
+        obs, _ = _traced_plane_run()
+        return obs.tracer.write_chrome(tmp_path / "cli.trace.json")
+
+    def test_analyze_writes_json_and_markdown(self, tmp_path, capsys):
+        trace = self._trace_file(tmp_path)
+        out_json = tmp_path / "report.json"
+        out_md = tmp_path / "report.md"
+        code = main(
+            [
+                "analyze",
+                str(trace),
+                "--json",
+                str(out_json),
+                "--md",
+                str(out_md),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out_json.read_text())
+        assert set(report["stages"]) == set(STAGES)
+        assert out_md.read_text().startswith("# Trace analysis")
+        # --md swallows stdout
+        assert capsys.readouterr().out == ""
+
+    def test_cli_json_output_is_byte_identical_across_runs(
+        self, tmp_path, capsys
+    ):
+        trace = self._trace_file(tmp_path)
+        outs = []
+        for i in range(2):
+            out = tmp_path / f"report{i}.json"
+            assert main(["analyze", str(trace), "--json", str(out)]) == 0
+            outs.append(out.read_bytes())
+        capsys.readouterr()
+        assert outs[0] == outs[1]
+
+    def test_diff_flag_embeds_the_diff_in_the_report(
+        self, tmp_path, capsys
+    ):
+        obs_a, _ = _traced_plane_run(max_batch=1)
+        obs_b, _ = _traced_plane_run(max_batch=8)
+        path_a = obs_a.tracer.write_chrome(tmp_path / "a.trace.json")
+        path_b = obs_b.tracer.write_chrome(tmp_path / "b.trace.json")
+        out = tmp_path / "diff.json"
+        code = main(
+            [
+                "analyze",
+                str(path_a),
+                "--diff",
+                str(path_b),
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["diff"]["dominant_stage"] == "batch_wait_ms"
+        assert "## Diff" in capsys.readouterr().out
+
+    def test_usage_and_error_exit_codes(self, tmp_path, capsys):
+        assert main([]) == 2
+        assert main(["-h"]) == 0
+        assert main(["frobnicate"]) == 2
+        assert main(["analyze", str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"a trace\"}")
+        assert main(["analyze", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "traceEvents" in err

@@ -11,6 +11,7 @@ changes no existing report bytes.
 from __future__ import annotations
 
 import json
+import re
 
 import pytest
 
@@ -29,6 +30,11 @@ from repro.obs import (
 )
 from repro.obs import log as obslog
 from repro.obs import profile as obs_profile
+from repro.obs.metrics import (
+    _escape_help,
+    _prom_name,
+    nearest_rank_percentile,
+)
 from repro.obs.profile import GemmProfiler
 from repro.serve.__main__ import main as serve_main
 from repro.serve.report import percentile as serve_percentile
@@ -233,6 +239,134 @@ class TestMetrics:
 
     def test_prom_sibling_path(self):
         assert prom_path_for("out.metrics.json").name == "out.metrics.prom"
+
+
+class TestEmptyPercentile:
+    def test_histogram_error_names_the_metric(self):
+        hist = Histogram("serve.latency_ms", buckets=(1.0,))
+        with pytest.raises(ValueError) as excinfo:
+            hist.percentile(99)
+        message = str(excinfo.value)
+        assert "p99" in message
+        assert "'serve.latency_ms'" in message
+        assert "no observations recorded" in message
+
+    def test_bare_helper_error_without_a_name(self):
+        with pytest.raises(
+            ValueError, match=r"cannot take p50 of an empty sample"
+        ):
+            nearest_rank_percentile([], 50)
+
+    def test_snapshot_of_empty_histogram_has_no_percentiles(self):
+        snap = Histogram("h", buckets=(1.0,)).snapshot()
+        assert snap["count"] == 0
+        assert "p99" not in snap and "min" not in snap
+
+
+class TestHistogramReservoir:
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_observations"):
+            Histogram("h", buckets=(1.0,), max_observations=0)
+
+    def test_exact_below_the_cap(self):
+        hist = Histogram("h", buckets=(100.0,), max_observations=50)
+        values = [float(v) for v in range(40)]
+        for value in values:
+            hist.observe(value)
+        assert not hist.sampled
+        assert "sampled" not in hist.snapshot()
+        for q in (50, 95, 99):
+            assert hist.percentile(q) == serve_percentile(values, q)
+
+    def test_reservoir_bounds_memory_and_flags_sampling(self):
+        cap = 64
+        hist = Histogram("h", buckets=(1e6,), max_observations=cap)
+        for value in range(1000):
+            hist.observe(float(value))
+        assert len(hist._values) == cap
+        assert hist.sampled
+        assert hist.snapshot()["sampled"] is True
+        # exact aggregates survive the sampling
+        assert hist.count == 1000
+        assert hist.sum == sum(float(v) for v in range(1000))
+        assert hist.snapshot()["min"] == 0.0
+        assert hist.snapshot()["max"] == 999.0
+        # the estimate is drawn from real observations
+        assert hist.percentile(50) in set(float(v) for v in range(1000))
+
+    def test_reservoir_is_deterministic_per_name(self):
+        def build(name):
+            hist = Histogram(name, buckets=(1e6,), max_observations=16)
+            for value in range(500):
+                hist.observe(float(value))
+            return hist
+
+        assert build("a")._values == build("a")._values
+        # seeded from the name: a different metric samples differently
+        assert build("a")._values != build("b")._values
+
+    def test_registry_passes_the_cap_through(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("capped", max_observations=8)
+        for value in range(100):
+            hist.observe(float(value))
+        assert registry.histogram("capped").sampled
+        snap = json.loads(json.dumps(registry.to_json()))
+        assert snap["capped"]["sampled"] is True
+
+    def test_uncapped_default_keeps_everything(self):
+        hist = Histogram("h", buckets=(1e6,))
+        for value in range(1000):
+            hist.observe(float(value))
+        assert len(hist._values) == 1000
+        assert not hist.sampled
+
+
+class TestPrometheusSanitization:
+    PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "serve.latency.p99_ms",
+            "weird-metric@host/path",
+            "0starts.with.digit",
+            "spaces in name",
+            "unicode.mñtric",
+        ],
+    )
+    def test_prom_name_round_trip(self, raw):
+        prom = _prom_name(raw)
+        assert self.PROM_NAME.match(prom), prom
+        # idempotent: sanitizing a sanitized name changes nothing
+        assert _prom_name(prom) == prom
+
+    def test_scrape_of_weird_names_is_well_formed(self):
+        registry = MetricsRegistry()
+        registry.counter("weird-metric@host/path", help="w").inc()
+        registry.counter("0starts.with.digit").inc()
+        text = registry.prometheus_text()
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert self.PROM_NAME.match(name), line
+
+    def test_help_escaping(self):
+        assert _escape_help('a\\b\nc"d') == 'a\\\\b\\nc\\"d'
+
+    def test_help_with_newline_backslash_quote_stays_one_line(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "tricky", help='first\nsecond \\ "quoted"'
+        ).inc()
+        text = registry.prometheus_text()
+        (help_line,) = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert help_line == (
+            '# HELP tricky first\\nsecond \\\\ \\"quoted\\"'
+        )
 
 
 # ---------------------------------------------------------------------------

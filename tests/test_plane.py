@@ -21,6 +21,7 @@ The load-bearing invariants:
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 import urllib.error
@@ -29,6 +30,7 @@ import urllib.request
 import pytest
 
 from repro import obs as obslib
+from repro.obs.context import trace_id_for
 from repro.isa.machine import CARMEL, machine_by_name
 from repro.serve import (
     DEADLINE,
@@ -537,7 +539,7 @@ class TestSimControllerEndToEnd:
 
 
 class TestHttpFrontDoor:
-    def _serve(self, admission, requests):
+    def _serve(self, admission, requests, slo=None):
         """Run the front door for a beat; return client-side answers."""
         obs = obslib.Obs()
         plane = ServePlane(
@@ -548,6 +550,7 @@ class TestHttpFrontDoor:
             admission=admission,
             obs=obs,
             mock_service_ms=2.0,
+            slo=slo,
         )
         bound = {}
         answers = []
@@ -622,6 +625,179 @@ class TestHttpFrontDoor:
         plane = _mock_plane([PoolSpec("resnet50", 1, 2)])
         with pytest.raises(ValueError, match="wall timeline"):
             run_http(plane, duration_ms=1.0)
+
+    def test_malformed_json_body_is_a_400(self):
+        answers, result = self._serve(
+            AdmissionPolicy(),
+            [("/v1/infer", b"{not json")],
+        )
+        code, body = answers[0]
+        assert code == 400
+        assert json.loads(body)["error"] == "body is not JSON"
+        assert result.arrived == 0  # rejected before admission
+
+    def test_slo_endpoint_404_when_monitor_absent(self):
+        answers, _ = self._serve(AdmissionPolicy(), [("/slo", None)])
+        code, body = answers[0]
+        assert code == 404
+        assert "not enabled" in json.loads(body)["error"]
+
+    def test_slo_endpoint_with_no_completed_requests(self):
+        answers, _ = self._serve(
+            AdmissionPolicy(),
+            [("/slo", None)],
+            slo=obslib.SloMonitor(threshold_ms=50.0),
+        )
+        code, body = answers[0]
+        assert code == 200
+        snap = json.loads(body)
+        assert snap["totals"]["completed"] == 0
+        assert snap["totals"]["error_rate"] == 0.0
+        assert all(not alert["firing"] for alert in snap["alerts"])
+
+    def test_slo_endpoint_reflects_served_traffic(self):
+        answers, result = self._serve(
+            AdmissionPolicy(),
+            [
+                ("/v1/infer", b'{"model": "resnet50"}'),
+                ("/slo", None),
+            ],
+            slo=obslib.SloMonitor(threshold_ms=1_000.0),
+        )
+        assert [code for code, _ in answers] == [200, 200]
+        snap = json.loads(answers[1][1])
+        assert snap["totals"]["completed"] == len(result.served) == 1
+        assert snap["totals"]["good"] == 1
+
+    def test_oversized_body_is_a_413_without_reading_it(self):
+        """A huge declared Content-Length is refused up front."""
+        obs = obslib.Obs()
+        plane = ServePlane(
+            CARMEL,
+            [PoolSpec("resnet50", 1, 2, max_batch=2, max_wait_ms=1.0)],
+            WallTimeline(),
+            controller="mock",
+            admission=AdmissionPolicy(),
+            obs=obs,
+            mock_service_ms=2.0,
+        )
+        bound = {}
+        answers = []
+
+        def client():
+            deadline = time.monotonic() + 5.0
+            while "addr" not in bound:
+                if time.monotonic() > deadline:  # pragma: no cover
+                    return
+                time.sleep(0.005)
+            host, port = bound["addr"]
+            with socket.create_connection((host, port), timeout=5) as sock:
+                # declare a body we never send: the server must answer
+                # from the headers alone
+                sock.sendall(
+                    b"POST /v1/infer HTTP/1.1\r\n"
+                    b"Host: t\r\n"
+                    b"Content-Length: 2000000\r\n"
+                    b"\r\n"
+                )
+                response = b""
+                while b"\r\n\r\n" not in response:
+                    chunk = sock.recv(4096)
+                    if not chunk:
+                        break
+                    response += chunk
+                    if b"}" in response:
+                        break
+                answers.append(response)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        result = run_http(
+            plane,
+            port=0,
+            duration_ms=1_000.0,
+            ready=lambda addr: bound.update(addr=addr),
+        )
+        thread.join()
+        assert answers, "client never got a response"
+        head, _, body = answers[0].partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 413 Payload Too Large")
+        payload = json.loads(body)
+        assert payload["error"] == "body too large"
+        assert payload["limit_bytes"] == 1 << 20
+        assert result.arrived == 0
+
+
+class TestCausalChains:
+    """The tentpole acceptance contract: complete chains, causal links."""
+
+    def _traced_run(self, admission=AdmissionPolicy()):
+        obs = obslib.Obs(
+            tracer=obslib.Tracer(clock=obslib.VirtualClock())
+        )
+        plane = _mock_plane(
+            [PoolSpec("resnet50", 1, 2, max_batch=4, max_wait_ms=2.0)],
+            admission=admission,
+            service_ms=5.0,
+            obs=obs,
+        )
+        trace = synthetic_trace(30.0, 600.0, seed=5)
+        result = run_trace(
+            plane, [("resnet50", request) for request in trace]
+        )
+        by_request = {}
+        batches = {}
+        for event in obs.tracer.events():
+            args = event.get("args") or {}
+            if event["name"] == "batch" and event["ph"] == "X":
+                batches[args["batch_id"]] = args
+            elif "request_id" in args:
+                by_request.setdefault(args["request_id"], {})[
+                    event["name"]
+                ] = args
+        return result, by_request, batches
+
+    def test_every_request_has_a_complete_causal_chain(self):
+        result, by_request, batches = self._traced_run()
+        assert result.served and len(by_request) == result.arrived
+        for served in result.served:
+            chain = by_request[served.request_id]
+            assert set(chain) == {"arrive", "admit", "queued", "complete"}
+            trace_id = trace_id_for(served.request_id)
+            assert {c["trace_id"] for c in chain.values()} == {trace_id}
+            # parent links walk the chain in causal order
+            assert "parent_id" not in chain["arrive"]  # the root span
+            assert chain["admit"]["parent_id"] == (
+                chain["arrive"]["span_id"]
+            )
+            assert chain["queued"]["parent_id"] == (
+                chain["admit"]["span_id"]
+            )
+            assert chain["complete"]["parent_id"] == (
+                chain["queued"]["span_id"]
+            )
+            # the batch reference resolves to a real batch span
+            batch = batches[chain["queued"]["batch_id"]]
+            assert batch["size"] == served.batch_size
+            assert "formed_ms" in batch
+
+    def test_shed_requests_chain_arrive_to_shed(self):
+        result, by_request, _ = self._traced_run(
+            admission=AdmissionPolicy(max_queue_depth=1)
+        )
+        assert result.shed
+        for shed in result.shed:
+            chain = by_request[shed.request_id]
+            assert set(chain) == {"arrive", "shed"}
+            assert chain["shed"]["reason"] == shed.reason
+            assert chain["shed"]["parent_id"] == (
+                chain["arrive"]["span_id"]
+            )
+
+    def test_ids_are_deterministic_functions_of_the_request(self):
+        _, first, _ = self._traced_run()
+        _, second, _ = self._traced_run()
+        assert first == second
 
 
 class TestLiveCli:

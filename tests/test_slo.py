@@ -1,0 +1,203 @@
+"""Tests for the rolling-window SLO monitor (repro.obs.slo).
+
+The load-bearing invariants:
+
+* good/bad classification keys on the latency threshold, and sheds
+  always spend error budget;
+* window aggregates are exact over their time buckets, throughput is
+  computed over the elapsed portion of the window, and percentile
+  estimates are bucket upper bounds clamped to the observed maximum;
+* a burn-rate rule fires only when **both** its windows exceed the
+  threshold — a transient blip that has left the short window cannot
+  page;
+* memory stays O(buckets): buckets older than the longest rule window
+  are pruned;
+* snapshots are plain deterministic JSON — two identically-fed
+  monitors serialize identically.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import BurnRateRule, SloMonitor
+from repro.obs.slo import DEFAULT_RULES, WINDOW_LATENCY_BOUNDS_MS
+
+
+def _monitor(**kwargs) -> SloMonitor:
+    defaults = dict(
+        threshold_ms=10.0,
+        objective=0.9,  # budget 0.1 -> burn = 10 x error rate
+        bucket_ms=10.0,
+        rules=(BurnRateRule("r", 100.0, 1_000.0, 2.0),),
+    )
+    defaults.update(kwargs)
+    return SloMonitor(**defaults)
+
+
+class TestValidation:
+    def test_rule_windows_must_be_ordered_and_positive(self):
+        with pytest.raises(ValueError, match="must be shorter"):
+            BurnRateRule("bad", 100.0, 100.0, 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            BurnRateRule("bad", -1.0, 100.0, 1.0)
+        with pytest.raises(ValueError, match="threshold"):
+            BurnRateRule("bad", 1.0, 100.0, 0.0)
+
+    def test_monitor_parameter_validation(self):
+        with pytest.raises(ValueError, match="threshold_ms"):
+            SloMonitor(threshold_ms=0.0)
+        with pytest.raises(ValueError, match="objective"):
+            SloMonitor(threshold_ms=1.0, objective=1.0)
+        with pytest.raises(ValueError, match="bucket_ms"):
+            SloMonitor(threshold_ms=1.0, bucket_ms=0.0)
+
+    def test_default_rules_are_the_scaled_sre_pair(self):
+        assert [r.name for r in DEFAULT_RULES] == ["fast", "slow"]
+        for rule in DEFAULT_RULES:
+            assert rule.short_ms < rule.long_ms
+
+
+class TestRecording:
+    def test_good_bad_split_on_the_threshold(self):
+        mon = _monitor()
+        mon.record_completion(5.0, 10.0)  # exactly at threshold: good
+        mon.record_completion(6.0, 10.1)  # over: bad
+        assert mon.total_completed == 2
+        assert mon.total_good == 1
+
+    def test_sheds_always_spend_budget(self):
+        mon = _monitor()
+        mon.record_shed(5.0)
+        window = mon.window(5.0, 100.0)
+        assert window["shed"] == 1
+        assert window["bad"] == 1
+        assert window["error_rate"] == 1.0
+
+    def test_window_counts_and_burn_rate(self):
+        mon = _monitor()
+        for t in range(10):  # 10 completions, 2 bad
+            mon.record_completion(float(t * 10), 20.0 if t < 2 else 1.0)
+        window = mon.window(95.0, 100.0)
+        assert window["completed"] == 10
+        assert window["bad"] == 2
+        assert window["error_rate"] == pytest.approx(0.2)
+        # budget is 0.1 -> burning 2x sustainable
+        assert window["burn_rate"] == pytest.approx(2.0)
+
+    def test_throughput_uses_elapsed_not_nominal_window(self):
+        mon = _monitor()
+        mon.record_completion(0.0, 1.0)
+        mon.record_completion(10.0, 1.0)
+        # only 10 ms elapsed: a 1-second window must not dilute to 2 rps
+        window = mon.window(10.0, 1_000.0)
+        assert window["throughput_rps"] == pytest.approx(2 / 10.0 * 1e3)
+
+    def test_events_roll_out_of_the_window(self):
+        mon = _monitor()
+        mon.record_completion(0.0, 20.0)  # bad
+        mon.record_completion(500.0, 1.0)  # good, much later
+        recent = mon.window(500.0, 100.0)
+        assert recent["completed"] == 1
+        assert recent["bad"] == 0
+
+
+class TestPercentiles:
+    def test_estimates_are_bucket_bounds_clamped_to_max(self):
+        mon = _monitor()
+        for _ in range(99):
+            mon.record_completion(5.0, 0.7)  # bucket bound 1.0
+        mon.record_completion(5.0, 3.0)  # bucket bound 5.0, max 3.0
+        latency = mon.window(5.0, 100.0)["latency"]
+        assert latency["p50_ms"] == 1.0  # upper bound of 0.7's bucket
+        assert latency["p99_ms"] == 1.0
+        assert latency["max_ms"] == 3.0
+        # the top rank lands in 3.0's bucket (bound 5.0) but is clamped
+        assert mon.window(5.0, 100.0)["latency"]["p50_ms"] <= 3.0
+
+    def test_overflow_rank_reports_observed_max(self):
+        mon = _monitor()
+        huge = WINDOW_LATENCY_BOUNDS_MS[-1] * 3
+        mon.record_completion(5.0, huge)
+        latency = mon.window(5.0, 100.0)["latency"]
+        assert latency["p99_ms"] == huge
+        assert latency["max_ms"] == huge
+
+    def test_empty_window_percentiles_are_none(self):
+        mon = _monitor()
+        latency = mon.window(0.0, 100.0)["latency"]
+        assert latency["p50_ms"] is None
+        assert latency["mean_ms"] is None
+        assert latency["max_ms"] is None
+
+
+class TestAlerts:
+    def test_fires_only_when_both_windows_are_hot(self):
+        mon = _monitor()
+        for t in range(20):  # sustained 100% bad: burn 10 >> 2
+            mon.record_completion(float(t * 10), 100.0)
+        (alert,) = mon.alerts(195.0)
+        assert alert["firing"] is True
+        assert alert["short_burn_rate"] >= alert["threshold"]
+        assert alert["long_burn_rate"] >= alert["threshold"]
+
+    def test_blip_outside_the_short_window_does_not_page(self):
+        mon = _monitor()
+        for t in range(5):  # a bad burst early on
+            mon.record_completion(float(t), 100.0)
+        # 500 ms later: still inside the 1 s long window, but the
+        # 100 ms short window is clean again
+        (alert,) = mon.alerts(500.0)
+        assert alert["long_burn_rate"] >= alert["threshold"]
+        assert alert["short_burn_rate"] == 0.0
+        assert alert["firing"] is False
+
+    def test_good_traffic_never_fires(self):
+        mon = _monitor()
+        for t in range(50):
+            mon.record_completion(float(t * 10), 1.0)
+        (alert,) = mon.alerts(495.0)
+        assert alert["firing"] is False
+        assert alert["short_burn_rate"] == 0.0
+
+
+class TestSnapshotAndMemory:
+    def test_snapshot_is_deterministic_json(self):
+        def build():
+            mon = _monitor()
+            for t in range(30):
+                mon.record_completion(float(t * 7), 3.0 + (t % 5))
+                if t % 4 == 0:
+                    mon.record_shed(float(t * 7))
+            return json.dumps(mon.snapshot(210.0), sort_keys=True)
+
+        assert build() == build()
+
+    def test_snapshot_shape(self):
+        mon = _monitor()
+        mon.record_completion(5.0, 1.0)
+        snap = mon.snapshot(5.0)
+        assert snap["totals"]["completed"] == 1
+        assert snap["error_budget"] == pytest.approx(0.1)
+        assert set(snap["windows"]) == {"100ms", "1000ms"}
+        assert [a["rule"] for a in snap["alerts"]] == ["r"]
+
+    def test_old_buckets_are_pruned(self):
+        mon = _monitor()
+        for t in range(0, 100_000, 10):
+            mon.record_completion(float(t), 1.0)
+        # horizon is the 1 s long window at 10 ms buckets (+ slack)
+        assert len(mon._buckets) < 150
+
+    def test_empty_snapshot_has_zero_totals(self):
+        mon = _monitor()
+        snap = mon.snapshot(0.0)
+        assert snap["totals"] == {
+            "requests": 0,
+            "completed": 0,
+            "good": 0,
+            "shed": 0,
+            "error_rate": 0.0,
+        }
