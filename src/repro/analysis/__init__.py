@@ -1,0 +1,96 @@
+"""Static analysis over the kernel generator and the runtime stack.
+
+Two passes, one CLI (``python -m repro.analysis`` / ``repro-check``):
+
+* the **kernel IR verifier** (:mod:`repro.analysis.verifier`) proves
+  generated micro-kernels well-formed — def-before-use, affine
+  bounds, accumulator liveness, register pressure, and an
+  instruction census cross-checked against the timing model;
+* the **determinism linter** (:mod:`repro.analysis.determinism`)
+  flags the source-level hazards behind the repo's byte-determinism
+  gates (wall-clock reads, unseeded RNGs, set iteration, unsorted
+  JSON, blocking calls in async code).
+
+The tuner consults :func:`filter_verified_jobs` so no enumerated
+candidate whose kernel fails verification is ever priced or can win
+a sweep; CI runs both passes in the ``static-analysis`` job.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .determinism import (
+    LINT_CODES,
+    default_lint_paths,
+    lint_file,
+    lint_paths,
+)
+from .verifier import (
+    ERROR_CODES,
+    Finding,
+    Report,
+    verify_kernel,
+    verify_plan,
+    verify_target,
+    verify_tile,
+)
+
+__all__ = [
+    "ERROR_CODES",
+    "Finding",
+    "LINT_CODES",
+    "Report",
+    "default_lint_paths",
+    "filter_verified_jobs",
+    "lint_file",
+    "lint_paths",
+    "tile_report",
+    "verify_kernel",
+    "verify_plan",
+    "verify_target",
+    "verify_tile",
+]
+
+#: process-wide memo of per-(isa, tile) verification verdicts, so a
+#: sweep pays for each distinct kernel once no matter how many
+#: problems/thread counts propose it
+_tile_reports: Dict[Tuple[str, int, int], Report] = {}
+
+
+def tile_report(isa: str, mr: int, nr: int) -> Report:
+    """Memoized verification of the kernel one ISA runs for one tile."""
+    key = (isa, mr, nr)
+    report = _tile_reports.get(key)
+    if report is None:
+        report = verify_tile(isa, mr, nr)
+        _tile_reports[key] = report
+    return report
+
+
+def filter_verified_jobs(jobs) -> Tuple[list, Dict[tuple, Report]]:
+    """Split tune jobs into (verified, rejected-by-verification).
+
+    Returns the jobs whose generated kernel passes
+    :func:`verify_tile`, plus a map of ``(isa, mr, nr)`` to the
+    failing :class:`Report` for everything dropped — the tuner logs
+    these and never prices them.  Tiles whose kernel cannot even be
+    generated are left in (generation raises its own error later,
+    which is a louder failure than silently dropping the job).
+    """
+    kept: List = []
+    rejected: Dict[tuple, Report] = {}
+    for job in jobs:
+        key = (job.isa, job.mr, job.nr)
+        if key in rejected:
+            continue
+        try:
+            report = tile_report(*key)
+        except Exception:
+            kept.append(job)
+            continue
+        if report.ok:
+            kept.append(job)
+        else:
+            rejected[key] = report
+    return kept, rejected

@@ -1,0 +1,376 @@
+"""AST lint for the hazard classes behind the byte-determinism gates.
+
+The repo's CI proves determinism end-to-end (``cmp`` over trace files,
+serving reports, vectorized-engine parity); this linter catches the
+hazards at the source line instead of at the diff.  Codes:
+
+* **DET101** — wall-clock read (``time.time``/``perf_counter``/
+  ``monotonic`` and their ``_ns`` forms, argless ``datetime.now``/
+  ``utcnow``) in a virtual-time module;
+* **DET102** — unseeded randomness: module-level ``random.*`` draws
+  (the process-global RNG) or a seedless ``random.Random()`` /
+  ``numpy.random.default_rng()``;
+* **DET103** — iteration over an unordered ``set`` (literal,
+  comprehension, ``set()``/``frozenset()`` call) feeding ordered
+  output; wrap the set in ``sorted(...)``;
+* **DET104** — ``json.dump``/``dumps`` of a constructed object
+  without ``sort_keys=True`` (literals are insertion-ordered and
+  exempt);
+* **DET105** — blocking call (``time.sleep``, sync file/process/
+  socket I/O) inside an ``async def``.
+
+Intentional uses carry a same-line waiver comment::
+
+    t0 = time.perf_counter()  # det: ok DET101 (wall profiling span)
+
+The code must match and the parenthesized justification is required;
+``repro-check lint`` reports anything else ruff-style as
+``file:line:col: CODE message``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Finding", "LINT_CODES", "lint_file", "lint_paths"]
+
+#: the linter's code catalogue (code -> one-line meaning)
+LINT_CODES: Dict[str, str] = {
+    "DET101": "wall-clock read in a virtual-time module",
+    "DET102": "unseeded random-number generation",
+    "DET103": "iteration over an unordered set",
+    "DET104": "json serialization without sort_keys=True",
+    "DET105": "blocking call inside an async function",
+}
+
+#: ``# det: ok DET101 (why this wall-clock read is intentional)``
+_WAIVER = re.compile(
+    r"#\s*det:\s*ok\s+(DET\d{3}(?:\s*,\s*DET\d{3})*)\s*\(([^)]+)\)"
+)
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+}
+_DATETIME_NOW = {
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+_GLOBAL_RANDOM = {
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.shuffle",
+    "random.sample",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.expovariate",
+    "random.betavariate",
+    "random.triangular",
+    "random.getrandbits",
+    "random.randbytes",
+}
+_SEEDED_CTORS = {"random.Random", "numpy.random.default_rng"}
+_BLOCKING = {
+    "time.sleep",
+    "open",
+    "input",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "socket.create_connection",
+    "urllib.request.urlopen",
+}
+#: sync-I/O method names flagged in async bodies regardless of receiver
+_BLOCKING_METHODS = {
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+}
+#: order-sensitive consumers of an iterable first argument
+_ORDER_SENSITIVE_CALLS = {"list", "tuple", "enumerate", "iter"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit: location, code, and message."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} {self.message}"
+        )
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass AST walk collecting determinism findings."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        self.aliases: Dict[str, str] = {}
+        self.async_depth: List[bool] = [False]
+
+    # -- helpers ----------------------------------------------------------
+
+    def add(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+                code,
+                message,
+            )
+        )
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """Resolve a call target to a dotted origin through imports."""
+        if isinstance(node, ast.Name):
+            return self.aliases.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.dotted(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    @staticmethod
+    def _is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Name
+        ):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return _Visitor._is_set_expr(
+                node.left
+            ) or _Visitor._is_set_expr(node.right)
+        return False
+
+    def _check_iteration(self, iter_node: ast.AST) -> None:
+        if self._is_set_expr(iter_node):
+            self.add(
+                iter_node,
+                "DET103",
+                "iteration over an unordered set; wrap it in "
+                "sorted(...) before it can feed ordered output",
+            )
+
+    # -- imports ----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # -- async context -----------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self.async_depth.append(False)
+        self.generic_visit(node)
+        self.async_depth.pop()
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        self.async_depth.append(True)
+        self.generic_visit(node)
+        self.async_depth.pop()
+
+    # -- iteration sites ---------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- calls -------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.dotted(node.func)
+
+        if name in _WALL_CLOCK:
+            self.add(
+                node,
+                "DET101",
+                f"wall-clock read {name}(); deterministic paths "
+                "must use an injected clock",
+            )
+        elif name in _DATETIME_NOW and not (
+            node.args or node.keywords
+        ):
+            self.add(
+                node,
+                "DET101",
+                f"argless {name}() reads the wall clock",
+            )
+
+        if name in _GLOBAL_RANDOM:
+            self.add(
+                node,
+                "DET102",
+                f"{name}() draws from the process-global unseeded "
+                "RNG; use a seeded random.Random instance",
+            )
+        elif name in _SEEDED_CTORS and not (node.args or node.keywords):
+            self.add(
+                node,
+                "DET102",
+                f"{name}() without a seed is nondeterministic",
+            )
+
+        if name in ("json.dump", "json.dumps"):
+            sorts = any(
+                kw.arg == "sort_keys"
+                and not (
+                    isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                )
+                for kw in node.keywords
+            )
+            literal = node.args and isinstance(
+                node.args[0],
+                (ast.Dict, ast.List, ast.Tuple, ast.Constant),
+            )
+            if not sorts and not literal:
+                self.add(
+                    node,
+                    "DET104",
+                    f"{name}() of a constructed object without "
+                    "sort_keys=True is not byte-stable",
+                )
+
+        if self.async_depth[-1]:
+            blocked = name in _BLOCKING or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+            )
+            if blocked:
+                label = name or node.func.attr
+                self.add(
+                    node,
+                    "DET105",
+                    f"blocking call {label}() inside an async "
+                    "function stalls the event loop",
+                )
+
+        if name in _ORDER_SENSITIVE_CALLS and node.args:
+            self._check_iteration(node.args[0])
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and node.args
+        ):
+            self._check_iteration(node.args[0])
+
+        self.generic_visit(node)
+
+
+def _waivers(source: str) -> Dict[int, set]:
+    """Map line number -> waived codes, from ``# det: ok`` comments."""
+    out: Dict[int, set] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER.search(line)
+        if match and match.group(2).strip():
+            codes = {
+                c.strip() for c in match.group(1).split(",")
+            }
+            out[lineno] = codes
+    return out
+
+
+def lint_file(path) -> List[Finding]:
+    """Lint one Python file; waived findings are dropped."""
+    path = Path(path)
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                str(path),
+                exc.lineno or 0,
+                exc.offset or 0,
+                "DET100",
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    visitor = _Visitor(str(path))
+    visitor.visit(tree)
+    waived = _waivers(source)
+    return [
+        f
+        for f in visitor.findings
+        if f.code not in waived.get(f.line, ())
+    ]
+
+
+def lint_paths(paths: Iterable) -> List[Finding]:
+    """Lint files and directories (recursing into ``*.py``), sorted."""
+    files: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+    return sorted(
+        findings, key=lambda f: (f.path, f.line, f.col, f.code)
+    )
+
+
+def default_lint_paths() -> Sequence[str]:
+    """The repo-wide default scope: the whole ``repro`` package."""
+    pkg = Path(__file__).resolve().parent.parent
+    return [str(pkg)]

@@ -351,7 +351,7 @@ def _run(isa: str, outdir: Path, threads: int, use_tuned: bool, obs) -> int:
             isa, outdir, threads=threads, use_tuned=use_tuned, obs=obs
         )
     ctx = default_context()
-    t0 = time.time()
+    t0 = time.time()  # det: ok DET101 (CLI wall-time summary)
     summary = []
 
     log.info("Figure 13 (solo-mode micro-kernels)...")
@@ -470,7 +470,7 @@ def _run(isa: str, outdir: Path, threads: int, use_tuned: bool, obs) -> int:
             "per-layer dispatch: tuned winners via the active tune cache"
         )
 
-    elapsed = time.time() - t0
+    elapsed = time.time() - t0  # det: ok DET101 (CLI wall-time summary)
     summary.append(f"\nregenerated in {elapsed:.1f}s (modelled Carmel core)")
     _write(outdir, "SUMMARY.txt", "\n".join(summary))
     log.info("\n".join(summary))

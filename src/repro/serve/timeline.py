@@ -42,11 +42,11 @@ class WallTimeline:
 
     def __init__(self):
         """Anchor ``now_ms`` at construction time."""
-        self._t0 = time.perf_counter()
+        self._t0 = time.perf_counter()  # det: ok DET101 (WallTimeline is the real-time backend)
 
     def now_ms(self) -> float:
         """Milliseconds since the timeline was created."""
-        return (time.perf_counter() - self._t0) * 1e3
+        return (time.perf_counter() - self._t0) * 1e3  # det: ok DET101 (WallTimeline is the real-time backend)
 
     def create_future(self) -> "asyncio.Future":
         """Return a fresh future on the running loop."""

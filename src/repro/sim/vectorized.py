@@ -673,7 +673,7 @@ def batch_gemm_cycles(
     ``parallel_gemm_breakdown``) pass ``profile=False``.
     """
     prof = obs_profile.ACTIVE if profile else None
-    started = time.perf_counter() if prof is not None else None
+    started = time.perf_counter() if prof is not None else None  # det: ok DET101 (wall profiling span)
     if batch.kind == "serial":
         breakdown = _serial_breakdown(batch)
     else:

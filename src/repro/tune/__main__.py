@@ -132,7 +132,7 @@ def main(argv=None) -> int:
     if not args.no_cache:
         cache = TuneCache(args.cache_dir or default_cache_root())
     reset_breakdown_calls()
-    t0 = time.time()
+    t0 = time.time()  # det: ok DET101 (CLI wall-time summary)
     if obs is not None:
         with obs.tracer.span(
             "sweep",
@@ -159,7 +159,7 @@ def main(argv=None) -> int:
             cache=cache,
             threads=thread_axis,
         )
-    elapsed = time.time() - t0
+    elapsed = time.time() - t0  # det: ok DET101 (CLI wall-time summary)
 
     for isa in isa_names:
         info = artifact["machines"][isa]

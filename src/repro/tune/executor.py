@@ -190,9 +190,9 @@ def _evaluate_chunk(
     The worker times itself so the parent can report true worker busy
     time (and so utilization) without clock skew between processes.
     """
-    t0 = time.perf_counter()
+    t0 = time.perf_counter()  # det: ok DET101 (worker busy-time metric)
     records = evaluate_candidates(isa, tiles)
-    return time.perf_counter() - t0, records
+    return time.perf_counter() - t0, records  # det: ok DET101 (worker busy-time metric)
 
 
 def _chunk_indices(
@@ -265,7 +265,7 @@ def run_jobs(
     if workers and workers > 1:
         chunks = _chunk_indices(pending, jobs, workers)
         busy_s = 0.0
-        pool_t0 = time.perf_counter()
+        pool_t0 = time.perf_counter()  # det: ok DET101 (worker busy-time metric)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
             chunk_ids = {}
@@ -309,7 +309,7 @@ def run_jobs(
                         args={"jobs": len(futures[future]), "isa": isa},
                     )
         if obs is not None:
-            wall_s = time.perf_counter() - pool_t0
+            wall_s = time.perf_counter() - pool_t0  # det: ok DET101 (worker busy-time metric)
             obs.metrics.gauge(
                 "tune.worker_utilization",
                 help="worker busy seconds / (workers x pool wall seconds)",

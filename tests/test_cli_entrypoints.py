@@ -1,7 +1,7 @@
 """Console entry points: every CLI answers ``--help`` with exit 0.
 
 ``pyproject.toml`` declares ``repro-eval`` / ``repro-tune`` /
-``repro-serve`` console scripts; these tests pin the targets those
+``repro-serve`` / ``repro-check`` console scripts; these tests pin the targets those
 scripts resolve to, and that each ``main()`` handles ``--help`` cleanly
 (argparse CLIs raise ``SystemExit(0)``, the hand-rolled eval CLI
 returns 0).
@@ -18,6 +18,7 @@ ENTRY_POINTS = {
     "repro-eval": "repro.eval.__main__:main",
     "repro-tune": "repro.tune.__main__:main",
     "repro-serve": "repro.serve.__main__:main",
+    "repro-check": "repro.analysis.__main__:main",
 }
 
 

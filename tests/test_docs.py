@@ -1,7 +1,8 @@
 """Documentation health: the link checker, run as part of tier-1.
 
 ``tools/check_doc_links.py`` verifies that every relative markdown
-link in README.md and docs/ resolves to a real file; CI runs the
+link in README.md and docs/ resolves to a real file and that every
+``#fragment`` names a real heading of its target page; CI runs the
 script directly and this test keeps the same gate in the tier-1
 suite (plus unit coverage of the checker itself, so a regression in
 the tool cannot silently pass broken docs).
@@ -62,11 +63,10 @@ def test_checker_flags_a_broken_link(tmp_path, capsys):
     assert "ok.md" not in out.replace("nope.md", "")
 
 
-def test_checker_ignores_external_fragment_and_fenced_links(
-    tmp_path, capsys
-):
+def test_checker_ignores_external_and_fenced_links(tmp_path, capsys):
     page = tmp_path / "page.md"
     page.write_text(
+        "# Section\n"
         "[web](https://example.com) [frag](#section)\n"
         "```\n[fake](inside/a/code/fence.md)\n```\n"
     )
@@ -78,6 +78,60 @@ def test_checker_accepts_anchored_relative_links(tmp_path):
     (tmp_path / "other.md").write_text("# t\n")
     page = tmp_path / "page.md"
     page.write_text("[sec](other.md#t)\n")
+    assert checker.main([str(page)]) == 0
+
+
+def test_slugify_matches_github_rules():
+    assert checker.slugify("Plain Title") == "plain-title"
+    assert checker.slugify("What `repro-check` does") == (
+        "what-repro-check-does"
+    )
+    assert checker.slugify("tune & serve: a) b)") == "tune--serve-a-b"
+    # inline links contribute only their visible text
+    assert checker.slugify("See [the guide](guide.md) now") == (
+        "see-the-guide-now"
+    )
+
+
+def test_heading_anchors_dedup_and_fence_skip(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# Setup\n"
+        "## Setup\n"
+        "```\n# Not A Heading\n```\n"
+        "## Tear down\n"
+    )
+    assert checker.heading_anchors(page) == {
+        "setup",
+        "setup-1",
+        "tear-down",
+    }
+
+
+def test_checker_flags_broken_in_page_anchor(tmp_path, capsys):
+    page = tmp_path / "page.md"
+    page.write_text("# Present\n[gone](#absent)\n")
+    assert checker.main([str(page)]) == 1
+    assert "#absent" in capsys.readouterr().out
+
+
+def test_checker_flags_broken_cross_file_anchor(tmp_path, capsys):
+    (tmp_path / "other.md").write_text("# Real Section\n")
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ok](other.md#real-section) [bad](other.md#fake-section)\n"
+    )
+    assert checker.main([str(page)]) == 1
+    out = capsys.readouterr().out
+    assert "other.md#fake-section" in out
+    assert "other.md#real-section" not in out
+
+
+def test_checker_skips_anchor_check_on_non_markdown(tmp_path):
+    """#fragments into non-markdown targets (source files) pass."""
+    (tmp_path / "tool.py").write_text("print('hi')\n")
+    page = tmp_path / "page.md"
+    page.write_text("[line](tool.py#L1)\n")
     assert checker.main([str(page)]) == 0
 
 

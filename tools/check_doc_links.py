@@ -2,10 +2,15 @@
 
 Scans the given files / directories (default: README.md and docs/)
 for inline markdown links and image references, and verifies that
-every **relative** link resolves to an existing file — catching the
-doc drift where a page moves or a referenced path never existed.
-External links (http/https/mailto) are not fetched; pure-fragment
-links (``#section``) are accepted.
+
+* every **relative** link resolves to an existing file — catching the
+  doc drift where a page moves or a referenced path never existed; and
+* every ``#fragment`` (pure in-page anchors and ``page.md#section``
+  cross-page anchors) matches a real heading of the target markdown
+  file, using GitHub's heading-to-anchor slug rules — catching the
+  quieter drift where a section is renamed and its deep links rot.
+
+External links (http/https/mailto) are not fetched.
 
 Exit status 0 when every link resolves, 1 otherwise (each broken link
 is reported as ``file:line: target``), so the same script gates CI and
@@ -21,10 +26,19 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 #: inline markdown links/images: [text](target) / ![alt](target)
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings (``# Title`` ... ``###### Title``)
+_HEADING = re.compile(r"^(#{1,6})\s+(.+?)\s*#*\s*$")
+
+#: inline links inside a heading contribute only their text to the slug
+_INLINE_LINK_TEXT = re.compile(r"!?\[([^\]]*)\]\([^)]*\)")
+
+#: characters GitHub keeps when slugging a heading
+_SLUG_KEEP = re.compile(r"[^\w\- ]", re.UNICODE)
 
 #: link schemes that are not filesystem paths
 _EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
@@ -41,8 +55,62 @@ def iter_markdown_files(paths: Iterable[Path]) -> List[Path]:
     return files
 
 
-def broken_links(md_file: Path) -> List[Tuple[int, str]]:
-    """Relative links in ``md_file`` that do not resolve to a file."""
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading text.
+
+    Inline-link targets are dropped (only the text renders), the text
+    is lowercased, punctuation is removed (word characters, hyphens
+    and spaces survive), and spaces become hyphens.
+    """
+    text = _INLINE_LINK_TEXT.sub(r"\1", heading)
+    text = _SLUG_KEEP.sub("", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(md_file: Path) -> Set[str]:
+    """Every anchor a markdown file exposes, with GitHub dedup rules.
+
+    Repeated headings get ``-1``, ``-2``, ... suffixes, matching how
+    GitHub disambiguates them; headings inside code fences do not
+    render and are skipped.
+    """
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_code_fence = False
+    for line in md_file.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def broken_links(
+    md_file: Path, anchor_cache: Dict[Path, Set[str]] = None
+) -> List[Tuple[int, str]]:
+    """Relative links in ``md_file`` that do not resolve.
+
+    A link is broken when its path does not exist, or when its
+    ``#fragment`` names no heading of the target markdown file (the
+    file itself for pure ``#section`` links).
+    """
+    if anchor_cache is None:
+        anchor_cache = {}
+
+    def anchors_of(path: Path) -> Set[str]:
+        path = path.resolve()
+        if path not in anchor_cache:
+            anchor_cache[path] = heading_anchors(path)
+        return anchor_cache[path]
+
     broken: List[Tuple[int, str]] = []
     in_code_fence = False
     for lineno, line in enumerate(
@@ -55,11 +123,19 @@ def broken_links(md_file: Path) -> List[Tuple[int, str]]:
             continue
         for match in _LINK.finditer(line):
             target = match.group(1)
-            if target.startswith(_EXTERNAL) or target.startswith("#"):
+            if target.startswith(_EXTERNAL):
                 continue
-            resolved = (md_file.parent / target.split("#", 1)[0])
-            if not resolved.exists():
-                broken.append((lineno, target))
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = md_file.parent / path_part
+                if not resolved.exists():
+                    broken.append((lineno, target))
+                    continue
+            else:
+                resolved = md_file
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    broken.append((lineno, target))
     return broken
 
 
@@ -75,15 +151,19 @@ def main(argv: List[str]) -> int:
         return 1
     failures = 0
     checked = 0
+    anchor_cache: Dict[Path, Set[str]] = {}
     for md_file in iter_markdown_files(roots):
         checked += 1
-        for lineno, target in broken_links(md_file):
+        for lineno, target in broken_links(md_file, anchor_cache):
             print(f"{md_file}:{lineno}: broken link -> {target}")
             failures += 1
     if failures:
         print(f"{failures} broken link(s) across {checked} file(s)")
         return 1
-    print(f"ok: {checked} markdown file(s), all relative links resolve")
+    print(
+        f"ok: {checked} markdown file(s), all relative links and "
+        "anchors resolve"
+    )
     return 0
 
 
